@@ -1,0 +1,289 @@
+// Package ironhide's benchmark harness regenerates every table and figure
+// of the paper's evaluation as testing.B benchmarks (scaled down so a
+// full -bench=. sweep stays tractable), plus the ablation benches
+// DESIGN.md calls out. Key series are emitted through b.ReportMetric:
+//
+//	BenchmarkTable1Machine      Table I substrate (machine + access path)
+//	BenchmarkFig1a              Figure 1a normalized geomeans
+//	BenchmarkFig6Completion     Figure 6 completion/breakdown matrix
+//	BenchmarkFig7MissRates      Figure 7 L1/L2 miss rates
+//	BenchmarkFig8Heuristic      Figure 8 reconfiguration study
+//	BenchmarkAttackChannel      covert-channel validation
+//	BenchmarkInteractivitySweep input-scale ablation
+//	BenchmarkHomingPolicy       hash-for-home vs local homing ablation
+//	BenchmarkRoutingIsolation   X-Y vs bidirectional routing ablation
+//	BenchmarkPurge              strong-isolation purge cost
+//	BenchmarkReconfigBudget     dynamic-hardware-isolation event cost
+package ironhide
+
+import (
+	"io"
+	"testing"
+
+	"ironhide/internal/apps"
+	"ironhide/internal/arch"
+	"ironhide/internal/attack"
+	"ironhide/internal/cache"
+	"ironhide/internal/core"
+	"ironhide/internal/driver"
+	"ironhide/internal/enclave"
+	"ironhide/internal/experiments"
+	"ironhide/internal/metrics"
+	"ironhide/internal/noc"
+	"ironhide/internal/sim"
+)
+
+func benchCfg() arch.Config { return arch.TileGx72Scaled(12) }
+
+// benchEC keeps a -bench=. sweep tractable: two representative apps (one
+// per interactivity class) at a small scale. Use cmd/ironhide-sim for the
+// full nine-app evaluation.
+func benchEC() experiments.Config {
+	return experiments.Config{
+		Scale:  0.04,
+		Apps:   []string{"<AES, QUERY>", "<MEMCACHED, OS>"},
+		Stride: 16,
+	}
+}
+
+func BenchmarkTable1Machine(b *testing.B) {
+	cfg := arch.TileGx72()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := m.NewSpace("bench", arch.Insecure).Alloc("a", 1<<20)
+		var lat int64
+		for off := 0; off < buf.Size; off += cfg.LineSize {
+			lat += m.Access(0, buf.Addr(off), false, arch.Insecure, lat)
+		}
+		b.ReportMetric(float64(lat)/float64(buf.Size/cfg.LineSize), "cycles/access")
+	}
+}
+
+func BenchmarkFig1a(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		mx, err := experiments.RunMatrix(cfg, benchEC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mx.Fig1a(io.Discard)
+		base := metrics.Geomean(completions(mx, "Insecure"))
+		b.ReportMetric(metrics.Geomean(completions(mx, "SGX"))/base, "sgx-vs-insecure")
+		b.ReportMetric(metrics.Geomean(completions(mx, "MI6"))/base, "mi6-vs-insecure")
+		b.ReportMetric(metrics.Geomean(completions(mx, "IRONHIDE"))/base, "ironhide-vs-insecure")
+	}
+}
+
+func completions(mx *experiments.Matrix, model string) []float64 {
+	var out []float64
+	for _, app := range mx.Order {
+		out = append(out, float64(mx.Cells[app][model].Result.CompletionCycles))
+	}
+	return out
+}
+
+func BenchmarkFig6Completion(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		mx, err := experiments.RunMatrix(cfg, benchEC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mx.Fig6(io.Discard)
+		mi6 := metrics.Geomean(completions(mx, "MI6"))
+		ih := metrics.Geomean(completions(mx, "IRONHIDE"))
+		b.ReportMetric(mi6/ih, "mi6-vs-ironhide")
+	}
+}
+
+func BenchmarkFig7MissRates(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		mx, err := experiments.RunMatrix(cfg, benchEC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mx.Fig7(io.Discard)
+		var mi6, ih float64
+		for _, app := range mx.Order {
+			mi6 += mx.Cells[app]["MI6"].Result.L1MissRate()
+			ih += mx.Cells[app]["IRONHIDE"].Result.L1MissRate()
+		}
+		b.ReportMetric(mi6/ih, "l1-missrate-gain")
+	}
+}
+
+func BenchmarkFig8Heuristic(b *testing.B) {
+	cfg := benchCfg()
+	ec := experiments.Config{Scale: 0.03, Apps: []string{"<AES, QUERY>"}, Stride: 20}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig8(cfg, ec, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAttackChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		leak, err := attack.CovertChannel(enclave.SGXLike{}, 48, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dead, err := attack.CovertChannel(core.New(32), 48, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(leak.Accuracy(), "sgx-bit-accuracy")
+		b.ReportMetric(dead.Accuracy(), "ironhide-bit-accuracy")
+	}
+}
+
+func BenchmarkInteractivitySweep(b *testing.B) {
+	cfg := benchCfg()
+	ec := experiments.Config{Scale: 1, Apps: []string{"<MEMCACHED, OS>"}}
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Sweep(cfg, ec, []int{20, 60}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[len(points)-2].PurgeShare, "mi6-purge-share")
+	}
+}
+
+// Ablation: the local homing policy MI6/IRONHIDE need versus the
+// platform's default hash-for-home, measured as average access latency of
+// a strided walk.
+func BenchmarkHomingPolicy(b *testing.B) {
+	cfg := arch.TileGx72()
+	run := func(local bool) float64 {
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if local {
+			m.SetHomePolicy(arch.Insecure, cache.NewLocalHome())
+			slices := make([]cache.SliceID, 8)
+			for i := range slices {
+				slices[i] = cache.SliceID(i)
+			}
+			m.SetSlices(arch.Insecure, slices)
+		}
+		buf := m.NewSpace("bench", arch.Insecure).Alloc("a", 2<<20)
+		var lat int64
+		n := 0
+		for off := 0; off < buf.Size; off += cfg.LineSize {
+			lat += m.Access(0, buf.Addr(off), false, arch.Insecure, lat)
+			n++
+		}
+		return float64(lat) / float64(n)
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run(false), "hash-cycles/access")
+		b.ReportMetric(run(true), "local-cycles/access")
+	}
+}
+
+// Ablation: bidirectional X-Y/Y-X routing versus X-Y-only containment
+// failures across every contiguous split.
+func BenchmarkRoutingIsolation(b *testing.B) {
+	cfg := arch.TileGx72()
+	for i := 0; i < b.N; i++ {
+		var xyFails, bidirFails int
+		for secure := 1; secure < cfg.Cores(); secure++ {
+			split, err := noc.NewSplit(secure, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cl := range []noc.Cluster{noc.SecureCluster, noc.InsecureCluster} {
+				member := split.Member(cl)
+				cores := split.Cores(cl)
+				for _, src := range cores {
+					for _, dst := range cores {
+						p := noc.Path(cfg.CoordOf(src), cfg.CoordOf(dst), noc.XY)
+						if !noc.Contained(p, member) {
+							xyFails++
+						}
+						if _, _, err := noc.Route(cfg.CoordOf(src), cfg.CoordOf(dst), member); err != nil {
+							bidirFails++
+						}
+					}
+				}
+			}
+		}
+		if bidirFails != 0 {
+			b.Fatalf("bidirectional routing failed containment %d times", bidirFails)
+		}
+		b.ReportMetric(float64(xyFails), "xy-only-violations")
+	}
+}
+
+// Ablation: the full strong-isolation purge (the MI6 per-interaction
+// cost) at full protocol fidelity.
+func BenchmarkPurge(b *testing.B) {
+	cfg := arch.TileGx72()
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mi6 := enclave.MulticoreMI6{}
+	if err := mi6.Configure(m); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cost int64
+	for i := 0; i < b.N; i++ {
+		cost = mi6.EnterSecure(m)
+	}
+	b.ReportMetric(float64(cost)/1e6, "ms-per-purge")
+}
+
+// Ablation: the cost of one dynamic hardware isolation event versus the
+// number of cores moved (the paper's ~15 ms one-time overhead).
+func BenchmarkReconfigBudget(b *testing.B) {
+	cfg := arch.TileGx72()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ih := core.New(32)
+		if err := ih.Configure(m); err != nil {
+			b.Fatal(err)
+		}
+		m.NewSpace("enclave", arch.Secure).Alloc("data", 8<<20)
+		m.NewSpace("ordinary", arch.Insecure).Alloc("data", 8<<20)
+		res, err := ih.Reconfigure(m, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Cycles)/1e6, "ms-per-reconfig")
+		b.ReportMetric(float64(res.PagesMoved), "pages-moved")
+	}
+}
+
+// End-to-end guardrail: the paper's headline must hold at bench scale.
+func BenchmarkHeadlineClaim(b *testing.B) {
+	cfg := benchCfg()
+	entry, ok := apps.ByName("<MEMCACHED, OS>")
+	if !ok {
+		b.Fatal("catalog missing app")
+	}
+	for i := 0; i < b.N; i++ {
+		mi6, err := driver.Run(cfg, enclave.MulticoreMI6{}, entry.Factory, driver.Options{Scale: 0.05})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ih, err := driver.Run(cfg, core.New(32), entry.Factory, driver.Options{Scale: 0.05, FixedSecureCores: 24})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio := float64(mi6.CompletionCycles) / float64(ih.CompletionCycles)
+		if ratio < 1.5 {
+			b.Fatalf("MI6/IRONHIDE = %.2f; the headline claim collapsed", ratio)
+		}
+		b.ReportMetric(ratio, "mi6-vs-ironhide")
+	}
+}

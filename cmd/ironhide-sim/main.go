@@ -1,0 +1,128 @@
+// Command ironhide-sim regenerates the paper's tables and figures on the
+// simulated Tile-Gx72 multicore.
+//
+// Usage:
+//
+//	ironhide-sim [-scale f] [-stride n] [-apps "name,..."] <experiment>
+//
+// Experiments:
+//
+//	table1   reconstructed system configuration (Table I)
+//	fig1a    normalized geomean completion times (Figure 1a)
+//	fig6     per-application completion + breakdown (Figure 6)
+//	fig7     L1/L2 miss rates, MI6 vs IRONHIDE (Figure 7)
+//	fig8     cluster reconfiguration heuristic study (Figure 8)
+//	attack   Prime+Probe covert-channel validation (extension)
+//	sweep    interactivity ablation (input-count sweep)
+//	all      everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/attack"
+	"ironhide/internal/driver"
+	"ironhide/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "round-count scale factor (smaller = faster, noisier)")
+	dilation := flag.Int64("dilation", 12, "protocol-constant dilation divisor (1 = full-fidelity per-event costs)")
+	stride := flag.Int("stride", 2, "stride of fig8's exhaustive Optimal search")
+	appsFlag := flag.String("apps", "", "comma-separated application names (default: all nine)")
+	trials := flag.Int("trials", 96, "covert-channel trials for the attack experiment")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ironhide-sim [flags] {table1|fig1a|fig6|fig7|fig8|attack|sweep|all}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := arch.TileGx72Scaled(*dilation)
+	ec := experiments.Config{Scale: *scale, Stride: *stride}
+	if *appsFlag != "" {
+		ec.Apps = strings.Split(*appsFlag, ",")
+	}
+
+	run := func(name string) error {
+		start := time.Now()
+		defer func() { fmt.Printf("\n[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond)) }()
+		switch name {
+		case "table1":
+			experiments.Table1(cfg, os.Stdout)
+			return nil
+		case "fig1a", "fig6", "fig7":
+			mx, err := experiments.RunMatrix(cfg, ec)
+			if err != nil {
+				return err
+			}
+			switch name {
+			case "fig1a":
+				mx.Fig1a(os.Stdout)
+			case "fig6":
+				mx.Fig6(os.Stdout)
+			case "fig7":
+				mx.Fig7(os.Stdout)
+			}
+			return nil
+		case "fig8":
+			return experiments.Fig8(cfg, ec, os.Stdout)
+		case "attack":
+			for _, m := range driver.Models() {
+				res, err := attack.CovertChannel(m, *trials, 42)
+				if err != nil {
+					return err
+				}
+				verdict := "channel DEAD (strong isolation holds)"
+				if res.Leaks() {
+					verdict = "channel LEAKS"
+				}
+				fmt.Printf("%-40s %s\n", res.String(), verdict)
+			}
+			return nil
+		case "sweep":
+			_, err := experiments.Sweep(cfg, ec, []int{30, 60, 120, 240}, os.Stdout)
+			return err
+		case "all":
+			mx, err := experiments.RunMatrix(cfg, ec)
+			if err != nil {
+				return err
+			}
+			experiments.Table1(cfg, os.Stdout)
+			fmt.Println()
+			mx.Fig1a(os.Stdout)
+			fmt.Println()
+			mx.Fig6(os.Stdout)
+			fmt.Println()
+			mx.Fig7(os.Stdout)
+			fmt.Println()
+			if err := experiments.Fig8(cfg, ec, os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			for _, m := range driver.Models() {
+				res, err := attack.CovertChannel(m, *trials, 42)
+				if err != nil {
+					return err
+				}
+				fmt.Println(res.String())
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "ironhide-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,247 @@
+// Package aes implements AES-256 from scratch — key expansion, the full
+// round function (SubBytes, ShiftRows, MixColumns, AddRoundKey), single
+// block encryption/decryption and CTR mode — for the paper's secure query
+// encryption process. The tests validate against the FIPS-197 vectors and
+// cross-check against the standard library.
+package aes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySize is the AES-256 key size in bytes.
+const KeySize = 32
+
+const rounds = 14 // AES-256
+
+var (
+	sbox    [256]byte
+	invSbox [256]byte
+	rcon    [11]byte
+)
+
+func init() {
+	// Generate the S-box from the multiplicative inverse in GF(2^8)
+	// followed by the affine transform.
+	var p, q byte = 1, 1
+	inverse := [256]byte{}
+	for {
+		// p *= 3 (generator), q /= 3.
+		p = p ^ (p << 1) ^ mulCond(p&0x80, 0x1B)
+		q ^= q << 1
+		q ^= q << 2
+		q ^= q << 4
+		q ^= mulCond(q&0x80, 0x09)
+		inverse[p] = q
+		if p == 1 {
+			break
+		}
+	}
+	inverse[0] = 0
+	for i := 0; i < 256; i++ {
+		inv := inverse[byte(i)]
+		if i == 0 {
+			inv = 0
+		}
+		s := inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3) ^ rotl8(inv, 4) ^ 0x63
+		sbox[i] = s
+		invSbox[s] = byte(i)
+	}
+	r := byte(1)
+	for i := 1; i < len(rcon); i++ {
+		rcon[i] = r
+		r = xtime(r)
+	}
+}
+
+func mulCond(cond, v byte) byte {
+	if cond != 0 {
+		return v
+	}
+	return 0
+}
+
+func rotl8(x byte, n uint) byte { return x<<n | x>>(8-n) }
+
+// xtime multiplies by x in GF(2^8) modulo the AES polynomial.
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1B
+	}
+	return b << 1
+}
+
+func mul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+// Cipher is an expanded AES-256 key schedule.
+type Cipher struct {
+	rk [4 * (rounds + 1)]uint32
+}
+
+// NewCipher expands a 32-byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aes: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	c := &Cipher{}
+	nk := KeySize / 4
+	for i := 0; i < nk; i++ {
+		c.rk[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 | uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	for i := nk; i < len(c.rk); i++ {
+		t := c.rk[i-1]
+		switch {
+		case i%nk == 0:
+			t = subWord(rotWord(t)) ^ uint32(rcon[i/nk])<<24
+		case i%nk == 4:
+			t = subWord(t)
+		}
+		c.rk[i] = c.rk[i-nk] ^ t
+	}
+	return c, nil
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xFF])<<16 |
+		uint32(sbox[w>>8&0xFF])<<8 | uint32(sbox[w&0xFF])
+}
+
+// state is the AES column-major 4x4 byte state.
+type state [16]byte
+
+func (s *state) addRoundKey(rk []uint32) {
+	for c := 0; c < 4; c++ {
+		w := rk[c]
+		s[4*c+0] ^= byte(w >> 24)
+		s[4*c+1] ^= byte(w >> 16)
+		s[4*c+2] ^= byte(w >> 8)
+		s[4*c+3] ^= byte(w)
+	}
+}
+
+func (s *state) subBytes() {
+	for i := range s {
+		s[i] = sbox[s[i]]
+	}
+}
+
+func (s *state) invSubBytes() {
+	for i := range s {
+		s[i] = invSbox[s[i]]
+	}
+}
+
+func (s *state) shiftRows() {
+	for r := 1; r < 4; r++ {
+		var row [4]byte
+		for c := 0; c < 4; c++ {
+			row[c] = s[4*((c+r)%4)+r]
+		}
+		for c := 0; c < 4; c++ {
+			s[4*c+r] = row[c]
+		}
+	}
+}
+
+func (s *state) invShiftRows() {
+	for r := 1; r < 4; r++ {
+		var row [4]byte
+		for c := 0; c < 4; c++ {
+			row[c] = s[4*((c-r+4)%4)+r]
+		}
+		for c := 0; c < 4; c++ {
+			s[4*c+r] = row[c]
+		}
+	}
+}
+
+func (s *state) mixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		s[4*c+0] = mul(a0, 2) ^ mul(a1, 3) ^ a2 ^ a3
+		s[4*c+1] = a0 ^ mul(a1, 2) ^ mul(a2, 3) ^ a3
+		s[4*c+2] = a0 ^ a1 ^ mul(a2, 2) ^ mul(a3, 3)
+		s[4*c+3] = mul(a0, 3) ^ a1 ^ a2 ^ mul(a3, 2)
+	}
+}
+
+func (s *state) invMixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		s[4*c+0] = mul(a0, 14) ^ mul(a1, 11) ^ mul(a2, 13) ^ mul(a3, 9)
+		s[4*c+1] = mul(a0, 9) ^ mul(a1, 14) ^ mul(a2, 11) ^ mul(a3, 13)
+		s[4*c+2] = mul(a0, 13) ^ mul(a1, 9) ^ mul(a2, 14) ^ mul(a3, 11)
+		s[4*c+3] = mul(a0, 11) ^ mul(a1, 13) ^ mul(a2, 9) ^ mul(a3, 14)
+	}
+}
+
+// Encrypt encrypts one 16-byte block: dst = AES-256(src).
+func (c *Cipher) Encrypt(dst, src []byte) {
+	var s state
+	copy(s[:], src[:BlockSize])
+	s.addRoundKey(c.rk[0:4])
+	for r := 1; r < rounds; r++ {
+		s.subBytes()
+		s.shiftRows()
+		s.mixColumns()
+		s.addRoundKey(c.rk[4*r : 4*r+4])
+	}
+	s.subBytes()
+	s.shiftRows()
+	s.addRoundKey(c.rk[4*rounds : 4*rounds+4])
+	copy(dst[:BlockSize], s[:])
+}
+
+// Decrypt inverts Encrypt.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	var s state
+	copy(s[:], src[:BlockSize])
+	s.addRoundKey(c.rk[4*rounds : 4*rounds+4])
+	for r := rounds - 1; r >= 1; r-- {
+		s.invShiftRows()
+		s.invSubBytes()
+		s.addRoundKey(c.rk[4*r : 4*r+4])
+		s.invMixColumns()
+	}
+	s.invShiftRows()
+	s.invSubBytes()
+	s.addRoundKey(c.rk[0:4])
+	copy(dst[:BlockSize], s[:])
+}
+
+// CTR encrypts (or, symmetrically, decrypts) buf in place with the given
+// 16-byte initial counter block.
+func (c *Cipher) CTR(buf []byte, iv [16]byte) {
+	var ks [16]byte
+	ctr := iv
+	for off := 0; off < len(buf); off += BlockSize {
+		c.Encrypt(ks[:], ctr[:])
+		n := len(buf) - off
+		if n > BlockSize {
+			n = BlockSize
+		}
+		for i := 0; i < n; i++ {
+			buf[off+i] ^= ks[i]
+		}
+		// Increment the big-endian counter.
+		for i := 15; i >= 0; i-- {
+			ctr[i]++
+			if ctr[i] != 0 {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS-197 Appendix C.3 AES-256 vector.
+func TestFIPS197Vector(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	plain, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	wantCipher, _ := hex.DecodeString("8ea2b7ca516745bfeafc49904b496089")
+
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.Encrypt(got, plain)
+	if !bytes.Equal(got, wantCipher) {
+		t.Fatalf("encrypt = %x, want %x", got, wantCipher)
+	}
+	back := make([]byte, 16)
+	c.Decrypt(back, got)
+	if !bytes.Equal(back, plain) {
+		t.Fatalf("decrypt = %x, want %x", back, plain)
+	}
+}
+
+func TestKeySizeEnforced(t *testing.T) {
+	for _, n := range []int{0, 16, 24, 31, 33} {
+		if _, err := NewCipher(make([]byte, n)); err == nil {
+			t.Errorf("key of %d bytes accepted", n)
+		}
+	}
+}
+
+// Cross-check against the standard library on random keys and blocks.
+func TestMatchesStdlib(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		key := make([]byte, 32)
+		block := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(block)
+
+		ours, err := NewCipher(key)
+		if err != nil {
+			return false
+		}
+		std, err := stdaes.NewCipher(key)
+		if err != nil {
+			return false
+		}
+		a := make([]byte, 16)
+		b := make([]byte, 16)
+		ours.Encrypt(a, block)
+		std.Encrypt(b, block)
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decrypt inverts Encrypt for random keys/blocks.
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		key := make([]byte, 32)
+		block := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(block)
+		c, err := NewCipher(key)
+		if err != nil {
+			return false
+		}
+		ct := make([]byte, 16)
+		pt := make([]byte, 16)
+		c.Encrypt(ct, block)
+		c.Decrypt(pt, ct)
+		return bytes.Equal(pt, block)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCTRSymmetric(t *testing.T) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("the quick brown fox jumps over the lazy dog, twice over!")
+	orig := append([]byte(nil), msg...)
+	var iv [16]byte
+	iv[15] = 1
+	c.CTR(msg, iv)
+	if bytes.Equal(msg, orig) {
+		t.Fatal("CTR left plaintext unchanged")
+	}
+	c.CTR(msg, iv)
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("CTR not symmetric")
+	}
+}
+
+func TestCTRCounterAdvances(t *testing.T) {
+	key := make([]byte, 32)
+	c, _ := NewCipher(key)
+	buf := make([]byte, 48) // 3 blocks of zeros: keystream must differ per block
+	var iv [16]byte
+	c.CTR(buf, iv)
+	if bytes.Equal(buf[0:16], buf[16:32]) || bytes.Equal(buf[16:32], buf[32:48]) {
+		t.Fatal("keystream repeats across blocks")
+	}
+}
+
+func TestSboxInvertible(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if invSbox[sbox[i]] != byte(i) {
+			t.Fatalf("invSbox(sbox(%#x)) = %#x", i, invSbox[sbox[i]])
+		}
+	}
+	// Known corner values from FIPS-197.
+	if sbox[0x00] != 0x63 || sbox[0x53] != 0xED {
+		t.Fatalf("sbox landmarks wrong: %#x %#x", sbox[0x00], sbox[0x53])
+	}
+}

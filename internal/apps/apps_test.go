@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"testing"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/driver"
+	"ironhide/internal/enclave"
+	"ironhide/internal/workload"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 9 {
+		t.Fatalf("catalog has %d apps, want the paper's 9", len(cat))
+	}
+	var user, osl int
+	for _, e := range cat {
+		app := e.Factory()
+		if err := app.Validate(); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if app.String() != e.Name {
+			t.Fatalf("catalog name %q != app name %q", e.Name, app.String())
+		}
+		if e.Class != app.Class {
+			t.Fatalf("%s: class mismatch", e.Name)
+		}
+		switch e.Class {
+		case workload.User:
+			user++
+		case workload.OSLevel:
+			osl++
+		}
+	}
+	if user != 7 || osl != 2 {
+		t.Fatalf("class split %d/%d, want 7 user + 2 OS", user, osl)
+	}
+}
+
+func TestFactoriesAreFresh(t *testing.T) {
+	e, ok := ByName("<AES, QUERY>")
+	if !ok {
+		t.Fatal("catalog entry missing")
+	}
+	a, b := e.Factory(), e.Factory()
+	if a == b || a.Secure == b.Secure || a.Insecure == b.Insecure {
+		t.Fatal("factory returned shared process state")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("<NOPE, NOPE>"); ok {
+		t.Fatal("unknown app resolved")
+	}
+}
+
+// OS-level apps must be far more interactive than user-level apps (the
+// paper: ~400 vs ~220K events/s), which in the scaled model means many
+// more, much lighter rounds.
+func TestInteractivityContrast(t *testing.T) {
+	user, _ := ByName("<AES, QUERY>")
+	osl, _ := ByName("<MEMCACHED, OS>")
+	if osl.Factory().Rounds < 5*user.Factory().Rounds {
+		t.Fatal("OS-level apps should run many more interaction rounds")
+	}
+}
+
+// Every application must actually run end-to-end under the most complex
+// model at a tiny scale.
+func TestAllAppsRunUnderIronhide(t *testing.T) {
+	cfg := arch.TileGx72Scaled(12)
+	for _, e := range Catalog() {
+		res, err := driver.Run(cfg, driver.Models()[3], e.Factory, driver.Options{Scale: 0.02, FixedSecureCores: 16})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if res.CompletionCycles <= 0 || res.L1Accesses == 0 {
+			t.Fatalf("%s: empty run", e.Name)
+		}
+	}
+}
+
+func TestAllAppsRunUnderMI6(t *testing.T) {
+	cfg := arch.TileGx72Scaled(12)
+	for _, e := range Catalog() {
+		res, err := driver.Run(cfg, enclave.MulticoreMI6{}, e.Factory, driver.Options{Scale: 0.02})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if res.PurgeCycles == 0 {
+			t.Fatalf("%s: MI6 purged nothing", e.Name)
+		}
+		if res.BlockedAccesses != 0 {
+			t.Fatalf("%s: %d accesses blocked; workloads must respect the partition", e.Name, res.BlockedAccesses)
+		}
+	}
+}

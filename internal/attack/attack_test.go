@@ -1,0 +1,52 @@
+package attack
+
+import (
+	"testing"
+
+	"ironhide/internal/core"
+	"ironhide/internal/enclave"
+)
+
+func TestChannelLeaksWithoutStrongIsolation(t *testing.T) {
+	for _, m := range []enclave.Model{enclave.Insecure{}, enclave.SGXLike{}} {
+		res, err := CovertChannel(m, 64, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if res.Collisions == 0 {
+			t.Fatalf("%s: attacker found no collision sets in a shared L2", m.Name())
+		}
+		if !res.Leaks() {
+			t.Fatalf("%s: channel accuracy %.2f; Prime+Probe should succeed on a shared L2", m.Name(), res.Accuracy())
+		}
+	}
+}
+
+func TestChannelDeadUnderStrongIsolation(t *testing.T) {
+	for _, m := range []enclave.Model{enclave.MulticoreMI6{}, core.New(32)} {
+		res, err := CovertChannel(m, 64, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if res.Collisions != 0 {
+			t.Fatalf("%s: attacker built %d cross-domain collision sets under strong isolation", m.Name(), res.Collisions)
+		}
+		if res.Leaks() {
+			t.Fatalf("%s: channel accuracy %.2f; strong isolation must kill it", m.Name(), res.Accuracy())
+		}
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r := Result{Model: "X", Trials: 10, Correct: 9}
+	if r.Accuracy() != 0.9 || !r.Leaks() {
+		t.Fatal("accessors wrong")
+	}
+	var empty Result
+	if empty.Accuracy() != 0 || empty.Leaks() {
+		t.Fatal("empty result should not leak")
+	}
+	if r.String() == "" {
+		t.Fatal("empty summary")
+	}
+}

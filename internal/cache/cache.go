@@ -1,0 +1,256 @@
+// Package cache models the set-associative caches of the IRONHIDE
+// multicore: the per-core private L1 data caches and the distributed
+// shared L2 built from one slice per core.
+//
+// The model is a timing/state model, not a data store: a cache tracks
+// which line tags are resident, which are dirty, and which security domain
+// installed them, so that the simulator can observe hits, misses,
+// write-backs, and — critically for the paper — the cost and completeness
+// of flush-and-invalidate purges performed at enclave entry and exit.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ironhide/internal/arch"
+)
+
+// Stats accumulates access counters for one cache.
+type Stats struct {
+	Accesses   int64
+	Misses     int64
+	Evictions  int64
+	WriteBacks int64
+	Flushes    int64 // number of FlushInvalidate operations
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	owner arch.Domain
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a single set-associative write-back cache with LRU replacement.
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	setMask   uint64
+	lines     []line // sets*ways, set-major
+	clock     uint64
+	stats     Stats
+}
+
+// New builds a cache of the given total size in bytes with the given
+// associativity and line size. Size, ways and lineSize must describe a
+// whole number of power-of-two sets.
+func New(size, ways, lineSize int) *Cache {
+	if size <= 0 || ways <= 0 || lineSize <= 0 {
+		panic(fmt.Sprintf("cache: invalid geometry size=%d ways=%d line=%d", size, ways, lineSize))
+	}
+	sets := size / (ways * lineSize)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d sets must be a positive power of two", sets))
+	}
+	if lineSize&(lineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d must be a power of two", lineSize))
+	}
+	return &Cache{
+		sets:      sets,
+		ways:      ways,
+		lineShift: uint(bits.TrailingZeros(uint(lineSize))),
+		setMask:   uint64(sets - 1),
+		lines:     make([]line, sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int { return c.sets * c.ways }
+
+// Stats returns a copy of the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// SetIndexOf exposes the set an address maps to; the attack harness uses
+// it to build eviction sets exactly the way Prime+Probe does.
+func (c *Cache) SetIndexOf(addr arch.Addr) int {
+	return int((uint64(addr) >> c.lineShift) & c.setMask)
+}
+
+// Result describes the outcome of one access.
+type Result struct {
+	Hit            bool
+	Evicted        bool        // a valid line was displaced
+	WroteBack      bool        // the displaced line was dirty
+	VictimOwner    arch.Domain // owner of the displaced line, if any
+	VictimWasOther bool        // displaced line belonged to a different domain
+}
+
+// Access looks up addr, installing the line on a miss (write-allocate),
+// marking it dirty on writes, and returns what happened. owner records the
+// security domain performing the access so that purge-completeness and
+// interference invariants can be checked afterwards.
+func (c *Cache) Access(addr arch.Addr, write bool, owner arch.Domain) Result {
+	c.clock++
+	c.stats.Accesses++
+	tag := uint64(addr) >> c.lineShift
+	set := int(tag & c.setMask)
+	base := set * c.ways
+
+	var victim, free = -1, -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			l.used = c.clock
+			if write {
+				l.dirty = true
+			}
+			return Result{Hit: true}
+		}
+		if !l.valid {
+			if free < 0 {
+				free = w
+			}
+			continue
+		}
+		if l.used < oldest {
+			oldest = l.used
+			victim = w
+		}
+	}
+
+	c.stats.Misses++
+	res := Result{}
+	slot := free
+	if slot < 0 {
+		slot = victim
+		v := &c.lines[base+slot]
+		res.Evicted = true
+		res.VictimOwner = v.owner
+		res.VictimWasOther = v.owner != owner
+		if v.dirty {
+			res.WroteBack = true
+			c.stats.WriteBacks++
+		}
+		c.stats.Evictions++
+	}
+	c.lines[base+slot] = line{tag: tag, valid: true, dirty: write, owner: owner, used: c.clock}
+	return res
+}
+
+// Contains reports whether the line holding addr is resident. It does not
+// disturb LRU state or statistics (it is an oracle for tests and attacks).
+func (c *Cache) Contains(addr arch.Addr) bool {
+	tag := uint64(addr) >> c.lineShift
+	base := int(tag&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// OccupancyByOwner counts resident lines installed by the given domain.
+func (c *Cache) OccupancyByOwner(owner arch.Domain) int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].owner == owner {
+			n++
+		}
+	}
+	return n
+}
+
+// Occupancy counts all resident lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// FlushResult reports the work a FlushInvalidate performed; the purge cost
+// model turns it into cycles.
+type FlushResult struct {
+	Lines       int // valid lines invalidated
+	WrittenBack int // dirty lines written back
+}
+
+// EvictLRUWays invalidates the n least-recently-used lines of every set,
+// modeling the collateral damage of the prototype's dummy-buffer L1 flush:
+// the dummy lines land in the flushing core's local L2 slice, displacing
+// one resident way per set for every 32 KB of dummy buffer read. It
+// returns the number of valid lines displaced.
+func (c *Cache) EvictLRUWays(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	evicted := 0
+	for set := 0; set < c.sets; set++ {
+		base := set * c.ways
+		for k := 0; k < n; k++ {
+			victim := -1
+			var oldest uint64 = ^uint64(0)
+			for w := 0; w < c.ways; w++ {
+				l := &c.lines[base+w]
+				if l.valid && l.used < oldest {
+					oldest = l.used
+					victim = base + w
+				}
+			}
+			if victim < 0 {
+				break
+			}
+			c.lines[victim] = line{}
+			evicted++
+			c.stats.Evictions++
+		}
+	}
+	return evicted
+}
+
+// FlushInvalidate writes back every dirty line and invalidates the whole
+// cache, exactly like the dummy-buffer read plus memory fence the paper
+// uses on the Tile-Gx72 prototype (tmc_mem_fence after reading a
+// cache-sized buffer). It returns the amount of work done.
+func (c *Cache) FlushInvalidate() FlushResult {
+	var fr FlushResult
+	for i := range c.lines {
+		l := &c.lines[i]
+		if !l.valid {
+			continue
+		}
+		fr.Lines++
+		if l.dirty {
+			fr.WrittenBack++
+		}
+		*l = line{}
+	}
+	c.stats.Flushes++
+	return fr
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/noc"
+	"ironhide/internal/sim"
+)
+
+// ReleaseSecureCluster reconfigures the machine for an application with no
+// secure process(es): the system collapses to a single cluster utilizing
+// all available core-level resources (paper Section III-B1). The secure
+// cluster's private state is flushed before its cores are handed to the
+// insecure world, and insecure pages spread over the whole slice array.
+// The secure DRAM regions stay dedicated — their contents are never made
+// reachable from the insecure cluster — so re-forming clusters later only
+// requires a reconfiguration event, not a re-encryption of secure memory.
+//
+// It returns the stall cycles of the event.
+func (ih *IronHide) ReleaseSecureCluster(m *sim.Machine) (int64, error) {
+	old := m.Split()
+	if old.SecureCores == 0 {
+		return 0, nil
+	}
+	var cost int64
+	// Flush the private state of every core leaving the secure cluster.
+	cost += m.PurgePrivate(old.Cores(noc.SecureCluster))
+	cost += m.PurgeMCs(m.MCsOf(arch.Secure))
+
+	next, err := noc.NewSplit(0, m.Cfg)
+	if err != nil {
+		return 0, err
+	}
+	applySliceSplit(m, next)
+	m.SetSplit(next, false) // one cluster: no containment constraint left
+	// Existing insecure pages spread over the reclaimed slices.
+	rr, err := m.RehomeDomainPages(arch.Insecure)
+	if err != nil {
+		return 0, err
+	}
+	cost += rr.Cycles + m.Cfg.PurgeKernelLat
+	ih.reconfigs++
+	return cost, nil
+}
+
+// FormClusters re-establishes the two-cluster configuration after a
+// single-cluster phase (a new interactive application with secure
+// processes arrives): the cores joining the secure cluster are flushed,
+// pages are re-homed to respect the partition, and routing isolation is
+// re-armed.
+func (ih *IronHide) FormClusters(m *sim.Machine, secureCores int) (int64, error) {
+	next, err := noc.NewSplit(secureCores, m.Cfg)
+	if err != nil {
+		return 0, err
+	}
+	if next.Size(noc.SecureCluster) == 0 || next.Size(noc.InsecureCluster) == 0 {
+		return 0, fmt.Errorf("core: forming clusters with %d secure cores leaves a cluster empty", secureCores)
+	}
+	var cost int64
+	cost += m.PurgePrivate(next.Cores(noc.SecureCluster))
+	applySliceSplit(m, next)
+	m.SetSplit(next, true)
+	for _, d := range []arch.Domain{arch.Secure, arch.Insecure} {
+		rr, err := m.RehomeDomainPages(d)
+		if err != nil {
+			return 0, err
+		}
+		cost += rr.Cycles
+	}
+	cost += m.Cfg.PurgeKernelLat
+	ih.reconfigs++
+	return cost, nil
+}

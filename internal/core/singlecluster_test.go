@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/noc"
+)
+
+func TestReleaseSecureCluster(t *testing.T) {
+	m := machine(t)
+	ih := New(32)
+	if err := ih.Configure(m); err != nil {
+		t.Fatal(err)
+	}
+	sb := m.NewSpace("enclave", arch.Secure).Alloc("s", 8*m.Cfg.PageSize)
+	ib := m.NewSpace("ordinary", arch.Insecure).Alloc("i", 8*m.Cfg.PageSize)
+	m.Access(0, sb.Addr(0), true, arch.Secure, 0)
+
+	cost, err := ih.ReleaseSecureCluster(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatal("release cost nothing")
+	}
+	if m.Split().SecureCores != 0 {
+		t.Fatal("secure cluster not released")
+	}
+	// All 64 slices now serve the insecure world.
+	if len(m.Slices(arch.Insecure)) != 64 {
+		t.Fatalf("insecure world has %d slices after release", len(m.Slices(arch.Insecure)))
+	}
+	// Released cores' private state was flushed.
+	if m.L1(0).Occupancy() != 0 {
+		t.Fatal("released core retains secure L1 state")
+	}
+	// Secure DRAM regions stay dedicated: the region partition is intact
+	// and the hardware check still guards them.
+	if !m.Part.Isolated() {
+		t.Fatal("DRAM regions were merged; secure data would be exposed")
+	}
+	lat := m.Access(63, sb.Addr(0), false, arch.Insecure, 0)
+	if lat != m.Cfg.L1HitLat || m.BlockedAccesses() != 1 {
+		t.Fatal("insecure access to released secure data was not discarded")
+	}
+	_ = ib
+	if ih.Reconfigurations() != 1 {
+		t.Fatal("release not counted as a reconfiguration event")
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	m := machine(t)
+	ih := New(16)
+	if err := ih.Configure(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ih.ReleaseSecureCluster(m); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := ih.ReleaseSecureCluster(m)
+	if err != nil || cost != 0 {
+		t.Fatalf("second release = (%d, %v), want free no-op", cost, err)
+	}
+}
+
+func TestFormClustersAfterRelease(t *testing.T) {
+	m := machine(t)
+	ih := New(32)
+	if err := ih.Configure(m); err != nil {
+		t.Fatal(err)
+	}
+	sb := m.NewSpace("enclave", arch.Secure).Alloc("s", 16*m.Cfg.PageSize)
+	if _, err := ih.ReleaseSecureCluster(m); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := ih.FormClusters(m, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 || m.Split().SecureCores != 24 {
+		t.Fatalf("clusters not re-formed: cost=%d split=%d", cost, m.Split().SecureCores)
+	}
+	// Secure pages live on secure slices again.
+	split := m.Split()
+	for off := 0; off < sb.Size; off += m.Cfg.PageSize {
+		_, _, home, _ := m.PageOf(sb.Addr(off))
+		if split.ClusterOf(arch.CoreID(home)) != noc.SecureCluster {
+			t.Fatalf("secure page on insecure slice %d after re-forming", home)
+		}
+	}
+	if err := func() error {
+		_, err := ih.FormClusters(m, 64)
+		return err
+	}(); err == nil {
+		t.Fatal("forming an empty insecure cluster accepted")
+	}
+}

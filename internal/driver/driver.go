@@ -1,0 +1,482 @@
+// Package driver executes one interactive application under one security
+// model on a fresh machine and reports the measurements the paper's
+// figures are built from: completion time and its breakdown (execution vs
+// enclave entry/exit vs purging vs reconfiguration), private L1 and shared
+// L2 miss rates, the chosen cluster binding, and the isolation counters.
+//
+// Temporal models (SGX-like, multicore MI6) time-share the cores: each
+// interaction round serializes the insecure process, the enclave entry
+// protocol, the secure process, and the exit protocol. Spatial models
+// (the insecure baseline's OS co-scheduling and IRONHIDE's clusters) run
+// the two processes concurrently as a two-stage pipeline coupled through
+// the shared IPC buffer.
+package driver
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/core"
+	"ironhide/internal/enclave"
+	"ironhide/internal/heuristic"
+	"ironhide/internal/ipc"
+	"ironhide/internal/kernel"
+	"ironhide/internal/noc"
+	"ironhide/internal/sim"
+	"ironhide/internal/workload"
+)
+
+// AppFactory builds a fresh instance of an application (fresh process
+// state, same seeds) — required because profiling probes and the measured
+// run must not share warmed state.
+type AppFactory func() *workload.App
+
+// Options tune one run.
+type Options struct {
+	// Scale multiplies round counts (1.0 = the app's defaults).
+	Scale float64
+	// FixedSecureCores pins the cluster binding for spatial models,
+	// skipping the search (0 = search).
+	FixedSecureCores int
+	// Optimal replaces the gradient heuristic with the exhaustive oracle
+	// and waives the search/reconfiguration overheads (Figure 8's
+	// "Optimal").
+	Optimal bool
+	// Variation shifts the Optimal binding by this signed fraction of the
+	// machine's cores (Figure 8's fixed ±x% decisions). Requires Optimal
+	// search to locate the reference point.
+	Variation float64
+	// OptimalStride coarsens the exhaustive search (default 1).
+	OptimalStride int
+	// WaiveReconfig drops the one-time reconfiguration overhead even for a
+	// fixed binding (the experiment harness uses it to model Figure 8's
+	// overhead-free Optimal with an externally computed binding).
+	WaiveReconfig bool
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+// Result is the outcome of one (app, model) run.
+type Result struct {
+	App   string
+	Class workload.Class
+	Model string
+
+	CompletionCycles int64
+	EntryExitCycles  int64 // SGX-style protocol constants (+pipeline flush)
+	PurgeCycles      int64 // MI6-style strong-isolation purges
+	ReconfigCycles   int64 // IRONHIDE one-time dynamic isolation (amortized)
+	SearchProbes     int
+
+	Rounds       int
+	Interactions int64
+	SecureCores  int
+
+	L1Accesses, L1Misses int64
+	L2Accesses, L2Misses int64
+
+	RouteViolations int64
+	BlockedAccesses int64
+}
+
+// ComputeCycles returns the execution-time component of completion.
+func (r *Result) ComputeCycles() int64 {
+	return r.CompletionCycles - r.EntryExitCycles - r.PurgeCycles - r.ReconfigCycles
+}
+
+// L1MissRate returns the aggregate private-cache miss rate.
+func (r *Result) L1MissRate() float64 {
+	if r.L1Accesses == 0 {
+		return 0
+	}
+	return float64(r.L1Misses) / float64(r.L1Accesses)
+}
+
+// L2MissRate returns the aggregate shared-cache miss rate.
+func (r *Result) L2MissRate() float64 {
+	if r.L2Accesses == 0 {
+		return 0
+	}
+	return float64(r.L2Misses) / float64(r.L2Accesses)
+}
+
+// Run executes the application under the model and returns the result.
+func Run(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options) (*Result, error) {
+	probe := factory()
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	if model.Temporal() {
+		return runTemporal(cfg, model, factory, opts)
+	}
+	return runSpatial(cfg, model, factory, opts)
+}
+
+// attest admits the secure process with the secure kernel before it may
+// run under a strong-isolation model.
+func attest(app *workload.App) (*kernel.Kernel, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	k := kernel.New(pub)
+	image := []byte(app.Secure.Name() + "/" + app.Name)
+	cert := kernel.Sign(priv, kernel.Measure(app.Secure.Name(), image))
+	if err := k.Attest(app.Secure.Name(), image, cert); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// setup builds the machine, configures the model, initializes both
+// processes and the shared IPC ring.
+func setup(cfg arch.Config, model enclave.Model, app *workload.App) (*sim.Machine, *ipc.Ring, error) {
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := model.Configure(m); err != nil {
+		return nil, nil, err
+	}
+	insSpace := m.NewSpace(app.Insecure.Name(), arch.Insecure)
+	secSpace := m.NewSpace(app.Secure.Name(), arch.Secure)
+	app.Insecure.Init(m, insSpace)
+	app.Secure.Init(m, secSpace)
+	ringBytes := app.PayloadBytes + app.ReplyBytes
+	if ringBytes < 4096 {
+		ringBytes = 4096
+	}
+	ringBytes = (ringBytes + cfg.LineSize - 1) / cfg.LineSize * cfg.LineSize
+	ring, err := ipc.NewRing(insSpace, cfg.LineSize, ringBytes*4)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, ring, nil
+}
+
+// gangCores returns the first n cores of the list (a process never uses
+// more cores than its thread count).
+func gangCores(all []arch.CoreID, threads int) []arch.CoreID {
+	if threads < len(all) {
+		return all[:threads]
+	}
+	return all
+}
+
+func collectStats(m *sim.Machine, r *Result) {
+	for _, c := range m.AllCores() {
+		st := m.L1(c).Stats()
+		r.L1Accesses += st.Accesses
+		r.L1Misses += st.Misses
+	}
+	l2 := m.L2().AggregateStats()
+	r.L2Accesses = l2.Accesses
+	r.L2Misses = l2.Misses
+	r.RouteViolations = m.RouteViolations()
+	r.BlockedAccesses = m.BlockedAccesses()
+}
+
+func resetStats(m *sim.Machine) {
+	for _, c := range m.AllCores() {
+		m.L1(c).ResetStats()
+		m.TLB(c).ResetStats()
+	}
+	m.L2().ResetStats()
+	for _, id := range m.AllMCs() {
+		m.MC(id).ResetStats()
+	}
+}
+
+// runTemporal drives the SGX-like and MI6 models.
+func runTemporal(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options) (*Result, error) {
+	app := factory().Scaled(opts.scale())
+	if model.StrongIsolation() {
+		if _, err := attest(app); err != nil {
+			return nil, err
+		}
+	}
+	m, ring, err := setup(cfg, model, app)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{App: app.String(), Class: app.Class, Model: model.Name(), Rounds: app.Rounds}
+	all := m.AllCores()
+	insCores := gangCores(all, app.Insecure.Threads())
+	secCores := gangCores(all, app.Secure.Threads())
+
+	var t int64
+	var entryExit, purge int64
+	var interactions int64
+	charge := func(c int64) {
+		t += c
+		if model.StrongIsolation() {
+			purge += c
+		} else {
+			entryExit += c
+		}
+	}
+
+	var measureStart int64
+	runRound := func(r int, measured bool) {
+		gIns := m.NewGroup(arch.Insecure, insCores, t)
+		if r > 0 {
+			_ = ring.Recv(gIns.Ctx(0), app.ReplyBytes)
+		}
+		app.Insecure.Round(gIns, r)
+		_ = ring.Send(gIns.Ctx(0), app.PayloadBytes)
+		t = gIns.MaxCycles()
+
+		charge(model.EnterSecure(m))
+		gSec := m.NewGroup(arch.Secure, secCores, t)
+		_ = ring.Recv(gSec.Ctx(0), app.PayloadBytes)
+		app.Secure.Round(gSec, r)
+		_ = ring.Send(gSec.Ctx(0), app.ReplyBytes)
+		t = gSec.MaxCycles()
+		charge(model.ExitSecure(m))
+		if measured {
+			interactions += 2 // one entry + one exit
+		}
+	}
+
+	for r := 0; r < app.Warmup; r++ {
+		runRound(r, false)
+	}
+	resetStats(m)
+	measureStart = t
+	entryExit, purge = 0, 0
+	for r := 0; r < app.Rounds; r++ {
+		runRound(app.Warmup+r, true)
+	}
+	res.CompletionCycles = t - measureStart
+	res.EntryExitCycles = entryExit
+	res.PurgeCycles = purge
+	res.Interactions = interactions
+	res.SecureCores = len(secCores)
+	collectStats(m, res)
+	return res, nil
+}
+
+// spatialCompletion runs the two-stage pipeline on a configured machine
+// and returns (completion cycles, interactions) for the measured rounds.
+func spatialCompletion(m *sim.Machine, ring *ipc.Ring, app *workload.App, secCores, insCores []arch.CoreID, warmup, rounds int) (int64, int64) {
+	var pEnd, cEnd int64
+	var interactions int64
+	var measureStart int64
+	runRound := func(r int, measured bool) {
+		gP := m.NewGroup(arch.Insecure, insCores, pEnd)
+		if r > 0 {
+			_ = ring.Recv(gP.Ctx(0), app.ReplyBytes)
+		}
+		app.Insecure.Round(gP, r)
+		_ = ring.Send(gP.Ctx(0), app.PayloadBytes)
+		pEnd = gP.MaxCycles()
+
+		cStart := pEnd
+		if cEnd > cStart {
+			cStart = cEnd
+		}
+		gC := m.NewGroup(arch.Secure, secCores, cStart)
+		_ = ring.Recv(gC.Ctx(0), app.PayloadBytes)
+		app.Secure.Round(gC, r)
+		_ = ring.Send(gC.Ctx(0), app.ReplyBytes)
+		cEnd = gC.MaxCycles()
+		if measured {
+			interactions += 2
+		}
+	}
+	for r := 0; r < warmup; r++ {
+		runRound(r, false)
+	}
+	resetStats(m)
+	measureStart = pEnd
+	if cEnd > measureStart {
+		measureStart = cEnd
+	}
+	for r := 0; r < rounds; r++ {
+		runRound(warmup+r, true)
+	}
+	end := pEnd
+	if cEnd > end {
+		end = cEnd
+	}
+	return end - measureStart, interactions
+}
+
+// clusterCores splits the cores between the domains for a spatial run.
+func clusterCores(m *sim.Machine, app *workload.App, secureCores int) (sec, ins []arch.CoreID) {
+	split, _ := noc.NewSplit(secureCores, m.Cfg)
+	sec = gangCores(split.Cores(noc.SecureCluster), app.Secure.Threads())
+	ins = gangCores(split.Cores(noc.InsecureCluster), app.Insecure.Threads())
+	return sec, ins
+}
+
+// Profile measures a candidate binding with a short fresh run; the
+// experiment harness reuses it to share one exhaustive search across
+// Figure 8's fixed-variation runs.
+func Profile(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options, secureCores int) (float64, error) {
+	return profile(cfg, model, factory, opts, secureCores)
+}
+
+// profile measures a candidate binding with a short fresh run.
+func profile(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options, secureCores int) (float64, error) {
+	app := factory().Scaled(opts.scale())
+	rounds := app.ProfileRounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	mdl := model
+	if ih, ok := model.(*core.IronHide); ok {
+		_ = ih
+		mdl = core.New(secureCores) // configure directly at the candidate
+	}
+	m, ring, err := setup(cfg, mdl, app)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := mdl.(*core.IronHide); !ok {
+		// Insecure baseline: the split assigns cores only.
+		split, err := noc.NewSplit(secureCores, cfg)
+		if err != nil {
+			return 0, err
+		}
+		m.SetSplit(split, false)
+	}
+	sec, ins := clusterCores(m, app, secureCores)
+	warm := rounds / 4
+	completion, _ := spatialCompletion(m, ring, app, sec, ins, warm, rounds)
+	return float64(completion), nil
+}
+
+// runSpatial drives the insecure baseline and IRONHIDE.
+func runSpatial(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options) (*Result, error) {
+	appProbe := factory()
+	lo, hi := 1, cfg.Cores()-1
+
+	// Choose the binding.
+	binding := opts.FixedSecureCores
+	probes := 0
+	waiveOverheads := opts.WaiveReconfig
+	if binding <= 0 {
+		eval := func(k int) (float64, error) { return profile(cfg, model, factory, opts, k) }
+		var hres heuristic.Result
+		var err error
+		if opts.Optimal || opts.Variation != 0 {
+			stride := opts.OptimalStride
+			if stride <= 0 {
+				stride = 1
+			}
+			hres, err = heuristic.Optimal(lo, hi, stride, eval)
+			waiveOverheads = waiveOverheads || opts.Optimal
+		} else {
+			hres, err = heuristic.Gradient(lo, hi, cfg.Cores()/2, cfg.Cores()/4, eval)
+		}
+		if err != nil {
+			return nil, err
+		}
+		binding = hres.SecureCores
+		probes = hres.Probes
+		if opts.Variation != 0 {
+			binding = heuristic.Vary(binding, opts.Variation, cfg.Cores(), lo, hi)
+		}
+	}
+
+	app := factory().Scaled(opts.scale())
+	res := &Result{App: app.String(), Class: app.Class, Model: model.Name(), Rounds: app.Rounds, SearchProbes: probes}
+
+	var m *sim.Machine
+	var ring *ipc.Ring
+	var reconfigCycles int64
+	switch mdl := model.(type) {
+	case *core.IronHide:
+		k, err := attest(app)
+		if err != nil {
+			return nil, err
+		}
+		// The paper's flow: start at 32/32, then one dynamic hardware
+		// isolation event installs the heuristic's binding.
+		ih := core.New(cfg.Cores() / 2)
+		m, ring, err = setup(cfg, ih, app)
+		if err != nil {
+			return nil, err
+		}
+		if binding != cfg.Cores()/2 {
+			if err := k.AuthorizeReconfig(); err != nil {
+				return nil, err
+			}
+			rr, err := ih.Reconfigure(m, binding)
+			if err != nil {
+				return nil, err
+			}
+			if !waiveOverheads {
+				reconfigCycles = rr.Cycles
+			}
+		}
+	default:
+		var err error
+		m, ring, err = setup(cfg, model, app)
+		if err != nil {
+			return nil, err
+		}
+		split, err := noc.NewSplit(binding, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.SetSplit(split, false)
+		_ = mdl
+	}
+
+	sec, ins := clusterCores(m, app, binding)
+	completion, interactions := spatialCompletion(m, ring, app, sec, ins, app.Warmup, app.Rounds)
+
+	// One-time overheads amortize over the application's real input count;
+	// the simulated run covers app.Rounds of RealRounds inputs.
+	if reconfigCycles > 0 && app.Rounds > 0 {
+		scaleBack := float64(app.Rounds) / float64(realRounds(app))
+		reconfigCycles = int64(float64(reconfigCycles) * scaleBack)
+		if reconfigCycles < 1 {
+			reconfigCycles = 1
+		}
+	}
+	res.CompletionCycles = completion + reconfigCycles
+	res.ReconfigCycles = reconfigCycles
+	res.Interactions = interactions
+	res.SecureCores = binding
+	collectStats(m, res)
+	_ = appProbe
+	return res, nil
+}
+
+// realRounds returns the application's real-world input count, used to
+// amortize one-time overheads that a scaled-down simulation would
+// otherwise exaggerate: user-level apps average 13.3K inputs in the
+// paper's runs; MEMCACHED computes 2M requests and LIGHTTPD 1M fetches,
+// scaled here by the batch each simulated round represents.
+func realRounds(app *workload.App) int {
+	if app.Class == workload.OSLevel {
+		return 40_000 // requests / batch-per-round at the paper's scale
+	}
+	return 13_300
+}
+
+// Models returns the four models in the paper's presentation order.
+func Models() []enclave.Model {
+	return []enclave.Model{
+		enclave.Insecure{},
+		enclave.SGXLike{},
+		enclave.MulticoreMI6{},
+		core.New(32),
+	}
+}
+
+// String renders a one-line summary of the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s under %s: %d cycles (%d rounds, %d secure cores)",
+		r.App, r.Model, r.CompletionCycles, r.Rounds, r.SecureCores)
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/workload"
+)
+
+// fast runs two representative apps (one user-level, one OS-level) at a
+// small scale; the full nine-app matrix is exercised by the CLI and the
+// benchmarks.
+func fast() Config {
+	return Config{Scale: 0.04, Apps: []string{"<AES, QUERY>", "<MEMCACHED, OS>"}, Stride: 16}
+}
+
+func cfg() arch.Config { return arch.TileGx72Scaled(12) }
+
+func TestMatrixAndFigures(t *testing.T) {
+	mx, err := RunMatrix(cfg(), fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mx.Order) != 2 {
+		t.Fatalf("matrix has %d apps", len(mx.Order))
+	}
+	for _, app := range mx.Order {
+		for _, model := range mx.Models {
+			cell := mx.Cells[app][model]
+			if cell == nil || cell.Result.CompletionCycles <= 0 {
+				t.Fatalf("missing cell %s/%s", app, model)
+			}
+			if cell.Result.RouteViolations != 0 {
+				t.Fatalf("%s/%s: route violations", app, model)
+			}
+		}
+		// The paper's central ordering: IRONHIDE beats MI6 on every app.
+		if mx.Cells[app]["IRONHIDE"].Result.CompletionCycles >= mx.Cells[app]["MI6"].Result.CompletionCycles {
+			t.Fatalf("%s: IRONHIDE not faster than MI6", app)
+		}
+	}
+
+	var buf bytes.Buffer
+	mx.Fig1a(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "IRONHIDE") || !strings.Contains(out, "normalized") {
+		t.Fatalf("fig1a output malformed:\n%s", out)
+	}
+
+	buf.Reset()
+	mx.Fig6(&buf)
+	out = buf.String()
+	for _, want := range []string{"purge", "reconfig", "MI6/IRONHIDE", "per interaction event"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig6 output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	mx.Fig7(&buf)
+	out = buf.String()
+	if !strings.Contains(out, "L1 MI6") || !strings.Contains(out, "geomean") {
+		t.Fatalf("fig7 output malformed:\n%s", out)
+	}
+}
+
+func TestFig8SmallScale(t *testing.T) {
+	ec := Config{Scale: 0.03, Apps: []string{"<AES, QUERY>"}, Stride: 20}
+	var buf bytes.Buffer
+	if err := Fig8(cfg(), ec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MI6", "Heuristic", "Optimal", "+5%", "-25%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig8 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(arch.TileGx72(), &buf)
+	out := buf.String()
+	for _, want := range []string{"8x8 mesh", "32 KB", "256 KB", "X-Y/Y-X", "DRAM regions"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	ec := Config{Scale: 1, Apps: []string{"<MEMCACHED, OS>"}}
+	var buf bytes.Buffer
+	points, err := Sweep(cfg(), ec, []int{20, 40}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // 2 round counts x 2 models
+		t.Fatalf("%d sweep points", len(points))
+	}
+	// MI6's purge share must dwarf IRONHIDE's at every point.
+	for i := 0; i < len(points); i += 2 {
+		mi6, ih := points[i], points[i+1]
+		if mi6.Model != "MI6" || ih.Model != "IRONHIDE" {
+			t.Fatalf("point order changed: %+v", points)
+		}
+		if mi6.PurgeShare <= ih.PurgeShare {
+			t.Fatalf("MI6 purge share %.2f not above IRONHIDE %.2f", mi6.PurgeShare, ih.PurgeShare)
+		}
+	}
+}
+
+func TestConfigCatalogFiltering(t *testing.T) {
+	if got := (Config{}).catalog(); len(got) != 9 {
+		t.Fatalf("default catalog has %d apps, want 9", len(got))
+	}
+	ec := Config{Apps: []string{"<PR, GRAPH>", "bogus"}}
+	got := ec.catalog()
+	if len(got) != 1 || got[0].Name != "<PR, GRAPH>" {
+		t.Fatalf("filtered catalog = %v", got)
+	}
+}
+
+func TestClassFilters(t *testing.T) {
+	mx, err := RunMatrix(cfg(), fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := mx.completionsOf("MI6", workload.User)
+	osl := mx.completionsOf("MI6", workload.OSLevel)
+	all := mx.completionsOf("MI6")
+	if len(user)+len(osl) != len(all) || len(user) != 1 || len(osl) != 1 {
+		t.Fatalf("class filtering broken: %d user, %d os, %d all", len(user), len(osl), len(all))
+	}
+}

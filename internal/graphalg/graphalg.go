@@ -1,0 +1,175 @@
+// Package graphalg implements the paper's three secure graph-analytics
+// processes, in the style of the CRONO benchmark suite: Single Source
+// Shortest Path (SSSP), PageRank (PR), and Triangle Counting (TC). Each
+// maintains its own resident copy of the road network (in the secure
+// domain's DRAM regions and L2 slices) and consumes the temporal updates
+// produced by the insecure GRAPH process every interaction round.
+package graphalg
+
+import (
+	"ironhide/internal/arch"
+	"ironhide/internal/graphgen"
+	"ironhide/internal/sim"
+)
+
+// resident is a secure-side copy of the CSR graph with simulated addresses
+// for each array, shared by the three algorithms.
+type resident struct {
+	g *graphgen.Graph
+
+	offBuf  sim.Buffer
+	edgeBuf sim.Buffer
+	wBuf    sim.Buffer
+}
+
+func (r *resident) alloc(space *sim.AddressSpace, g *graphgen.Graph) {
+	r.g = g
+	r.offBuf = space.Alloc("offsets", 4*(g.N+1))
+	r.edgeBuf = space.Alloc("edges", 4*g.EdgeCount())
+	r.wBuf = space.Alloc("weights", 4*g.EdgeCount())
+}
+
+// applyUpdates installs the round's temporal weight updates into the
+// resident copy (real mutation plus modeled traffic).
+func (r *resident) applyUpdates(g *sim.Group, updates []graphgen.Update) {
+	g.ParFor(len(updates), 8, func(c *sim.Ctx, i int) {
+		u := updates[i]
+		e := int(u.Edge) % r.g.EdgeCount()
+		r.g.Weights[e] = u.Weight
+		c.Write(r.wBuf.Index(e, 4))
+		c.Compute(2)
+	})
+}
+
+// touchNeighbors charges the CSR reads for scanning vertex u's edges.
+func (r *resident) touchNeighbors(c *sim.Ctx, u int) {
+	c.Read(r.offBuf.Index(u, 4))
+	for e := r.g.Offsets[u]; e < r.g.Offsets[u+1]; e++ {
+		c.Read(r.edgeBuf.Index(int(e), 4))
+	}
+}
+
+// SSSP is the secure single-source-shortest-path process. Each round it
+// applies the temporal updates and relaxes a bounded frontier around the
+// affected region (incremental recomputation); RunToFixpoint exposes the
+// full Bellman-Ford solver the tests verify against a Dijkstra oracle.
+type SSSP struct {
+	resident
+	gen    *graphgen.Generator
+	source int
+	sweeps int
+
+	dist    []float32
+	distBuf sim.Buffer
+}
+
+// NewSSSP builds the process over gen's road network with the given
+// source, draining updates from gen and running `sweeps` frontier waves
+// per round.
+func NewSSSP(gen *graphgen.Generator, source, sweeps int) *SSSP {
+	return &SSSP{gen: gen, source: source, sweeps: sweeps}
+}
+
+// Name implements workload.Process.
+func (*SSSP) Name() string { return "SSSP" }
+
+// Domain implements workload.Process.
+func (*SSSP) Domain() arch.Domain { return arch.Secure }
+
+// Threads implements workload.Process.
+func (*SSSP) Threads() int { return 48 }
+
+// Init implements workload.Process.
+func (s *SSSP) Init(m *sim.Machine, space *sim.AddressSpace) {
+	s.alloc(space, s.graph())
+	s.dist = make([]float32, s.g.N)
+	for i := range s.dist {
+		s.dist[i] = inf
+	}
+	s.dist[s.source] = 0
+	s.distBuf = space.Alloc("dist", 4*s.g.N)
+}
+
+const inf = float32(1e30)
+
+// graph recovers the topology from the generator (both sides compute over
+// the same logical road network, each with its own resident copy).
+func (s *SSSP) graph() *graphgen.Graph { return s.gen.Graph() }
+
+// Round implements workload.Process.
+func (s *SSSP) Round(g *sim.Group, round int) {
+	updates := s.gen.Drain()
+	s.applyUpdates(g, updates)
+
+	// Seed the frontier with the endpoints of updated edges plus the
+	// source, then run bounded relaxation waves.
+	frontier := make([]int32, 0, 4*len(updates)+1)
+	frontier = append(frontier, int32(s.source))
+	for _, u := range updates {
+		e := int(u.Edge) % s.g.EdgeCount()
+		frontier = append(frontier, s.g.Edges[e])
+	}
+	for wave := 0; wave < s.sweeps; wave++ {
+		next := make([][]int32, g.Threads())
+		g.ParFor(len(frontier), 4, func(c *sim.Ctx, i int) {
+			u := int(frontier[i])
+			c.Read(s.distBuf.Index(u, 4))
+			du := s.dist[u]
+			if du >= inf {
+				return
+			}
+			c.Read(s.offBuf.Index(u, 4))
+			for e := s.g.Offsets[u]; e < s.g.Offsets[u+1]; e++ {
+				v := s.g.Edges[e]
+				c.Read(s.edgeBuf.Index(int(e), 4))
+				c.Read(s.wBuf.Index(int(e), 4))
+				nd := du + s.g.Weights[e]
+				c.Read(s.distBuf.Index(int(v), 4))
+				c.Compute(100)
+				if nd < s.dist[v] {
+					s.dist[v] = nd
+					c.Write(s.distBuf.Index(int(v), 4))
+					next[c.TID] = append(next[c.TID], v)
+				}
+			}
+		})
+		frontier = frontier[:0]
+		for _, part := range next {
+			frontier = append(frontier, part...)
+		}
+		if len(frontier) == 0 {
+			break
+		}
+	}
+}
+
+// Dist returns the current distance estimate of v.
+func (s *SSSP) Dist(v int) float32 { return s.dist[v] }
+
+// RunToFixpoint relaxes every edge until no distance changes (full
+// Bellman-Ford), charging the model if g is non-nil. It returns the number
+// of passes. Tests verify the result against a Dijkstra oracle.
+func (s *SSSP) RunToFixpoint(g *sim.Group) int {
+	passes := 0
+	for changed := true; changed; {
+		changed = false
+		passes++
+		for u := 0; u < s.g.N; u++ {
+			du := s.dist[u]
+			if du >= inf {
+				continue
+			}
+			for e := s.g.Offsets[u]; e < s.g.Offsets[u+1]; e++ {
+				v := s.g.Edges[e]
+				if nd := du + s.g.Weights[e]; nd < s.dist[v] {
+					s.dist[v] = nd
+					changed = true
+				}
+			}
+		}
+		if passes > s.g.N {
+			break // negative-cycle guard; road weights are positive
+		}
+	}
+	return passes
+}

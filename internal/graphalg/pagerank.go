@@ -1,0 +1,133 @@
+package graphalg
+
+import (
+	"ironhide/internal/arch"
+	"ironhide/internal/graphgen"
+	"ironhide/internal/sim"
+)
+
+// PageRank is the secure PR process. Each interaction round it applies the
+// temporal updates and advances a rotating partial power-iteration sweep
+// (a window of vertices per round), keeping per-round work bounded while
+// converging over rounds; RunIterations exposes full power iterations for
+// the tests.
+type PageRank struct {
+	resident
+	gen     *graphgen.Generator
+	damping float32
+	windows int // sweeps are split into this many per-round windows
+
+	rank    []float32
+	next    []float32
+	rankBuf sim.Buffer
+	nextBuf sim.Buffer
+	cursor  int
+}
+
+// NewPageRank builds the PR process over gen's road network.
+func NewPageRank(gen *graphgen.Generator, damping float32, windows int) *PageRank {
+	return &PageRank{gen: gen, damping: damping, windows: windows}
+}
+
+// Name implements workload.Process.
+func (*PageRank) Name() string { return "PR" }
+
+// Domain implements workload.Process.
+func (*PageRank) Domain() arch.Domain { return arch.Secure }
+
+// Threads implements workload.Process.
+func (*PageRank) Threads() int { return 48 }
+
+// Init implements workload.Process.
+func (p *PageRank) Init(m *sim.Machine, space *sim.AddressSpace) {
+	p.alloc(space, p.gen.Graph())
+	n := p.g.N
+	p.rank = make([]float32, n)
+	p.next = make([]float32, n)
+	for i := range p.rank {
+		p.rank[i] = 1 / float32(n)
+	}
+	p.rankBuf = space.Alloc("rank", 4*n)
+	p.nextBuf = space.Alloc("next", 4*n)
+}
+
+// Round implements workload.Process.
+func (p *PageRank) Round(g *sim.Group, round int) {
+	p.applyUpdates(g, p.gen.Drain())
+	n := p.g.N
+	window := (n + p.windows - 1) / p.windows
+	lo := (p.cursor * window) % n
+	hi := lo + window
+	if hi > n {
+		hi = n
+	}
+	p.cursor++
+
+	g.ParFor(hi-lo, 8, func(c *sim.Ctx, i int) {
+		u := lo + i
+		sum := float32(0)
+		c.Read(p.offBuf.Index(u, 4))
+		for e := p.g.Offsets[u]; e < p.g.Offsets[u+1]; e++ {
+			v := int(p.g.Edges[e])
+			c.Read(p.edgeBuf.Index(int(e), 4))
+			c.Read(p.rankBuf.Index(v, 4))
+			deg := p.g.Degree(v)
+			if deg > 0 {
+				sum += p.rank[v] / float32(deg)
+			}
+			c.Compute(110)
+		}
+		p.next[u] = (1-p.damping)/float32(n) + p.damping*sum
+		c.Write(p.nextBuf.Index(u, 4))
+	})
+	// Publish the window.
+	g.ParFor(hi-lo, 32, func(c *sim.Ctx, i int) {
+		u := lo + i
+		p.rank[u] = p.next[u]
+		c.Read(p.nextBuf.Index(u, 4))
+		c.Write(p.rankBuf.Index(u, 4))
+	})
+}
+
+// Rank returns vertex v's current rank estimate.
+func (p *PageRank) Rank(v int) float32 { return p.rank[v] }
+
+// RankSum returns the total rank mass (should stay ~1 for a graph without
+// dangling vertices).
+func (p *PageRank) RankSum() float64 {
+	var s float64
+	for _, r := range p.rank {
+		s += float64(r)
+	}
+	return s
+}
+
+// RunIterations performs k full synchronous power iterations (no model
+// charging) and returns the largest single-vertex rank change of the last
+// iteration; tests use it to check convergence.
+func (p *PageRank) RunIterations(k int) float64 {
+	n := p.g.N
+	var delta float64
+	for it := 0; it < k; it++ {
+		delta = 0
+		for u := 0; u < n; u++ {
+			sum := float32(0)
+			for e := p.g.Offsets[u]; e < p.g.Offsets[u+1]; e++ {
+				v := int(p.g.Edges[e])
+				if deg := p.g.Degree(v); deg > 0 {
+					sum += p.rank[v] / float32(deg)
+				}
+			}
+			p.next[u] = (1-p.damping)/float32(n) + p.damping*sum
+		}
+		for u := 0; u < n; u++ {
+			if d := float64(p.next[u] - p.rank[u]); d > delta {
+				delta = d
+			} else if -d > delta {
+				delta = -d
+			}
+			p.rank[u] = p.next[u]
+		}
+	}
+	return delta
+}

@@ -1,0 +1,179 @@
+// Package graphgen implements the insecure GRAPH process of the paper's
+// real-time graph processing applications: a temporal graph generator that
+// reads values from (simulated) distributed road sensors at time intervals
+// and produces weight updates for an underlying static road-network graph.
+//
+// The paper uses the California road network; with no access to that
+// dataset the generator synthesizes a planar road-like graph (a jittered
+// grid with occasional diagonal shortcuts), which preserves the properties
+// the evaluation depends on: low, near-uniform degree, high diameter, and
+// spatial locality of updates.
+package graphgen
+
+import (
+	"math/rand"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/sim"
+)
+
+// Graph is a static road network in CSR form with mutable edge weights.
+// The topology is immutable after construction; temporal updates change
+// weights only (traffic conditions), as in the paper's setup.
+type Graph struct {
+	N       int
+	Offsets []int32
+	Edges   []int32
+	Weights []float32
+}
+
+// NewRoadNetwork builds a w x h road grid with jittered edge weights and
+// extra diagonal shortcuts, deterministically from seed.
+func NewRoadNetwork(w, h, shortcuts int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := w * h
+	type edge struct {
+		u, v int32
+		w    float32
+	}
+	var edges []edge
+	add := func(u, v int) {
+		we := 1 + rng.Float32()*9 // 1..10 "minutes"
+		edges = append(edges, edge{int32(u), int32(v), we}, edge{int32(v), int32(u), we})
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			u := y*w + x
+			if x+1 < w {
+				add(u, u+1)
+			}
+			if y+1 < h {
+				add(u, u+w)
+			}
+		}
+	}
+	for s := 0; s < shortcuts; s++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			add(u, v)
+		}
+	}
+	// Build CSR.
+	g := &Graph{N: n, Offsets: make([]int32, n+1)}
+	for _, e := range edges {
+		g.Offsets[e.u+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.Offsets[i+1] += g.Offsets[i]
+	}
+	g.Edges = make([]int32, len(edges))
+	g.Weights = make([]float32, len(edges))
+	cursor := make([]int32, n)
+	for _, e := range edges {
+		at := g.Offsets[e.u] + cursor[e.u]
+		cursor[e.u]++
+		g.Edges[at] = e.v
+		g.Weights[at] = e.w
+	}
+	return g
+}
+
+// EdgeCount returns the number of directed edges.
+func (g *Graph) EdgeCount() int { return len(g.Edges) }
+
+// Degree returns vertex u's out-degree.
+func (g *Graph) Degree(u int) int { return int(g.Offsets[u+1] - g.Offsets[u]) }
+
+// Update is one temporal weight change: directed edge index -> new weight.
+type Update struct {
+	Edge   int32
+	Weight float32
+}
+
+// Generator is the GRAPH insecure process: it polls sensors, derives
+// weight updates, and publishes them for the secure graph algorithm.
+type Generator struct {
+	g               *Graph
+	updatesPerRound int
+	rng             *rand.Rand
+
+	queue []Update // produced this round, drained by the consumer
+
+	sensors   []float32
+	sensorBuf sim.Buffer
+	stageBuf  sim.Buffer
+}
+
+// NewGenerator builds the GRAPH process producing updatesPerRound updates
+// against g each round.
+func NewGenerator(g *Graph, updatesPerRound int, seed int64) *Generator {
+	return &Generator{
+		g:               g,
+		updatesPerRound: updatesPerRound,
+		rng:             rand.New(rand.NewSource(seed)),
+		sensors:         make([]float32, g.EdgeCount()),
+	}
+}
+
+// Name implements workload.Process.
+func (*Generator) Name() string { return "GRAPH" }
+
+// Domain implements workload.Process.
+func (*Generator) Domain() arch.Domain { return arch.Insecure }
+
+// Threads implements workload.Process: sensor aggregation parallelizes
+// well but the working set is small.
+func (*Generator) Threads() int { return 16 }
+
+// Init implements workload.Process.
+func (gen *Generator) Init(m *sim.Machine, space *sim.AddressSpace) {
+	gen.sensorBuf = space.Alloc("sensors", 4*len(gen.sensors))
+	gen.stageBuf = space.Alloc("update-stage", 8*gen.updatesPerRound)
+}
+
+// Round implements workload.Process: poll a window of sensors, smooth the
+// readings, and emit weight updates for the most-changed edges.
+func (gen *Generator) Round(g *sim.Group, round int) {
+	gen.queue = gen.queue[:0]
+	base := gen.rng.Intn(len(gen.sensors))
+	window := gen.updatesPerRound * 4
+	picks := make([]Update, 0, gen.updatesPerRound)
+
+	g.ParFor(window, 16, func(c *sim.Ctx, i int) {
+		idx := (base + i*7) % len(gen.sensors)
+		// Sensor drift: a deterministic pseudo-random walk in [-1, 1].
+		h := uint32(idx*2654435761) ^ uint32(round*40503)
+		h ^= h >> 13
+		drift := float32(int32(h%2001)-1000) / 1000.0
+		c.Read(gen.sensorBuf.Index(idx, 4))
+		old := gen.sensors[idx]
+		gen.sensors[idx] = 0.9*old + 0.1*drift
+		c.Write(gen.sensorBuf.Index(idx, 4))
+		c.Compute(8)
+	})
+
+	// Serial selection of the strongest deltas (the "decision" step).
+	g.Seq(func(c *sim.Ctx) {
+		for i := 0; i < window && len(picks) < gen.updatesPerRound; i += 4 {
+			idx := (base + i*7) % len(gen.sensors)
+			c.Read(gen.sensorBuf.Index(idx, 4))
+			w := 1 + 5*(gen.sensors[idx]+1) // map drift to 1..13 minutes
+			picks = append(picks, Update{Edge: int32(idx), Weight: w})
+			c.Write(gen.stageBuf.Index(len(picks)-1, 8))
+			c.Compute(6)
+		}
+	})
+	gen.queue = append(gen.queue, picks...)
+}
+
+// Drain hands the round's updates to the consumer (the real data flow the
+// IPC buffer's traffic stands for).
+func (gen *Generator) Drain() []Update {
+	out := gen.queue
+	gen.queue = nil
+	return out
+}
+
+// Graph returns the underlying static road network.
+func (gen *Generator) Graph() *Graph { return gen.g }

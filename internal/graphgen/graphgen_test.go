@@ -1,0 +1,152 @@
+package graphgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/sim"
+)
+
+func TestRoadNetworkShape(t *testing.T) {
+	g := NewRoadNetwork(10, 8, 12, 1)
+	if g.N != 80 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// Grid edges: horizontal 9*8 + vertical 10*7 = 142 undirected, plus up
+	// to 12 shortcuts, doubled for direction.
+	undirected := 9*8 + 10*7
+	if got := g.EdgeCount(); got < 2*undirected || got > 2*(undirected+12) {
+		t.Fatalf("edges = %d, want in [%d,%d]", got, 2*undirected, 2*(undirected+12))
+	}
+	// CSR integrity.
+	if int(g.Offsets[g.N]) != g.EdgeCount() {
+		t.Fatal("offsets do not close the CSR")
+	}
+	for u := 0; u < g.N; u++ {
+		if g.Offsets[u] > g.Offsets[u+1] {
+			t.Fatal("offsets not monotone")
+		}
+	}
+	for i, v := range g.Edges {
+		if v < 0 || int(v) >= g.N {
+			t.Fatalf("edge %d targets %d", i, v)
+		}
+		if g.Weights[i] <= 0 {
+			t.Fatalf("edge %d has weight %f", i, g.Weights[i])
+		}
+	}
+}
+
+func TestRoadNetworkDeterministic(t *testing.T) {
+	a := NewRoadNetwork(6, 6, 5, 42)
+	b := NewRoadNetwork(6, 6, 5, 42)
+	if a.EdgeCount() != b.EdgeCount() {
+		t.Fatal("same seed, different graphs")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatal("same seed, different graphs")
+		}
+	}
+	if c := NewRoadNetwork(6, 6, 5, 43); c.Weights[0] == a.Weights[0] && c.Weights[1] == a.Weights[1] && c.Weights[2] == a.Weights[2] {
+		t.Log("different seeds produced identical first weights (unlikely but possible)")
+	}
+}
+
+// Road networks have low, near-uniform degree — the property that stands
+// in for the California road network.
+func TestRoadNetworkDegreesRoadLike(t *testing.T) {
+	g := NewRoadNetwork(20, 20, 0, 7)
+	for u := 0; u < g.N; u++ {
+		if d := g.Degree(u); d < 2 || d > 4 {
+			t.Fatalf("vertex %d has degree %d; grid degrees are 2..4", u, d)
+		}
+	}
+}
+
+func newMachine(t *testing.T) *sim.Machine {
+	t.Helper()
+	m, err := sim.NewMachine(arch.TileGx72())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGeneratorRound(t *testing.T) {
+	m := newMachine(t)
+	g := NewRoadNetwork(16, 16, 10, 3)
+	gen := NewGenerator(g, 32, 9)
+	gen.Init(m, m.NewSpace("GRAPH", arch.Insecure))
+	grp := m.NewGroup(arch.Insecure, []arch.CoreID{0, 1, 2, 3}, 0)
+	gen.Round(grp, 0)
+	updates := gen.Drain()
+	if len(updates) == 0 || len(updates) > 32 {
+		t.Fatalf("round produced %d updates", len(updates))
+	}
+	for _, u := range updates {
+		if int(u.Edge) < 0 || int(u.Edge) >= g.EdgeCount() {
+			t.Fatalf("update for edge %d out of range", u.Edge)
+		}
+		if u.Weight <= 0 {
+			t.Fatalf("non-positive weight %f", u.Weight)
+		}
+	}
+	if gen.Drain() != nil {
+		t.Fatal("second drain returned stale updates")
+	}
+	if grp.MaxCycles() == 0 {
+		t.Fatal("generation charged no cycles")
+	}
+}
+
+func TestGeneratorDeterministicAcrossRuns(t *testing.T) {
+	run := func() []Update {
+		m := newMachine(t)
+		g := NewRoadNetwork(16, 16, 10, 3)
+		gen := NewGenerator(g, 16, 9)
+		gen.Init(m, m.NewSpace("GRAPH", arch.Insecure))
+		grp := m.NewGroup(arch.Insecure, []arch.CoreID{0, 1}, 0)
+		gen.Round(grp, 0)
+		return gen.Drain()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic update count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic updates")
+		}
+	}
+}
+
+// Property: every generated road network is a valid CSR whose edges stay
+// in range, for arbitrary small dimensions.
+func TestRoadNetworkAlwaysValid(t *testing.T) {
+	f := func(wRaw, hRaw, sRaw uint8, seed int64) bool {
+		w := 2 + int(wRaw)%12
+		h := 2 + int(hRaw)%12
+		g := NewRoadNetwork(w, h, int(sRaw)%20, seed)
+		if g.N != w*h || int(g.Offsets[g.N]) != g.EdgeCount() {
+			return false
+		}
+		for _, v := range g.Edges {
+			if v < 0 || int(v) >= g.N {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessMetadata(t *testing.T) {
+	gen := NewGenerator(NewRoadNetwork(4, 4, 0, 1), 8, 1)
+	if gen.Name() != "GRAPH" || gen.Domain() != arch.Insecure || gen.Threads() <= 0 {
+		t.Fatal("process metadata wrong")
+	}
+}

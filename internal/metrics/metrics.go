@@ -1,0 +1,111 @@
+// Package metrics provides the statistics and table formatting the
+// experiment harness uses to report the paper's figures: geometric means
+// (the paper's summary statistic), normalized completion times, and plain
+// fixed-width tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs; it returns 0 for an empty
+// input and panics on non-positive values (completion times are positive).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("metrics: geomean of non-positive value %g", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Normalize divides each value by the matching baseline.
+func Normalize(values, baseline []float64) []float64 {
+	if len(values) != len(baseline) {
+		panic("metrics: normalize length mismatch")
+	}
+	out := make([]float64, len(values))
+	for i := range values {
+		out[i] = values[i] / baseline[i]
+	}
+	return out
+}
+
+// Table is a minimal fixed-width text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// Add appends a row; missing cells render empty, extras are dropped.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with 2 decimals (table cells).
+func F(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// Fx formats a ratio as "N.NNx".
+func Fx(x float64) string { return fmt.Sprintf("%.2fx", x) }
+
+// Pct formats a fraction as a percentage.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// Ms formats cycles as milliseconds at 1 GHz.
+func Ms(cycles int64) string { return fmt.Sprintf("%.3fms", float64(cycles)/1e6) }

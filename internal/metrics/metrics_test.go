@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomeanKnown(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean(2,8) = %f", g)
+	}
+	if g := Geomean([]float64{5}); g != 5 {
+		t.Fatalf("geomean(5) = %f", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero value")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+// Property: geomean lies between min and max.
+func TestGeomeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{4, 9}, []float64{2, 3})
+	if got[0] != 2 || got[1] != 3 {
+		t.Fatalf("normalize = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	Normalize([]float64{1}, []float64{1, 2})
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("app", "MI6", "IRONHIDE")
+	tb.Add("<AES, QUERY>", "2.10", "1.05")
+	tb.Add("<TC, GRAPH>", "1.50")
+	out := tb.String()
+	if !strings.Contains(out, "<AES, QUERY>") || !strings.Contains(out, "IRONHIDE") {
+		t.Fatalf("table missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + rule + 2 rows
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows() = %d", tb.Rows())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.234) != "1.23" || Fx(2.1) != "2.10x" || Pct(0.471) != "47.1%" {
+		t.Fatal("formatters changed")
+	}
+	if Ms(190_000) != "0.190ms" {
+		t.Fatalf("Ms = %s", Ms(190_000))
+	}
+}

@@ -1,0 +1,228 @@
+// Package neural implements the paper's secure perception processes —
+// AlexNet-shaped (ALEXNET) and SqueezeNet-shaped (SQZ-NET) convolutional
+// network inference — from scratch: direct convolution, max pooling, ReLU,
+// fully connected layers, and softmax, with deterministic pseudo-random
+// weights standing in for ImageNet-trained parameters. The arithmetic is
+// real (the tests check shape, determinism, and probability-simplex
+// outputs); dimensions are scaled so one inference fits an interaction
+// round, and ALEXNET additionally streams a large classifier table that
+// reproduces the original's memory-heavy fully connected layers.
+package neural
+
+import (
+	"math"
+
+	"ironhide/internal/sim"
+)
+
+// Tensor is a dense CHW tensor.
+type Tensor struct {
+	C, H, W int
+	Data    []float32
+}
+
+// NewTensor allocates a zeroed C x H x W tensor.
+func NewTensor(c, h, w int) *Tensor {
+	return &Tensor{C: c, H: h, W: w, Data: make([]float32, c*h*w)}
+}
+
+// At returns the element (c, y, x).
+func (t *Tensor) At(c, y, x int) float32 { return t.Data[(c*t.H+y)*t.W+x] }
+
+// Set stores the element (c, y, x).
+func (t *Tensor) Set(c, y, x int, v float32) { t.Data[(c*t.H+y)*t.W+x] = v }
+
+// Conv is a 2-D convolution layer with square kernels, stride 1 and same
+// padding, followed by ReLU. CostScale multiplies the charged MAC cycles
+// (a full-width layer is represented by a thinner one doing the same
+// amount of modeled work).
+type Conv struct {
+	InC, OutC, K int
+	Weights      []float32 // outc x inc x k x k
+	Bias         []float32
+	CostScale    int64
+	wbuf         sim.Buffer
+}
+
+// NewConv builds a conv layer with deterministic He-style pseudo-random
+// weights derived from seed.
+func NewConv(inC, outC, k int, seed uint32) *Conv {
+	c := &Conv{InC: inC, OutC: outC, K: k}
+	c.Weights = make([]float32, outC*inC*k*k)
+	c.Bias = make([]float32, outC)
+	scale := float32(math.Sqrt(2 / float64(inC*k*k)))
+	for i := range c.Weights {
+		c.Weights[i] = hashFloat(seed, uint32(i)) * scale
+	}
+	for i := range c.Bias {
+		c.Bias[i] = hashFloat(seed^0xABCD, uint32(i)) * 0.01
+	}
+	return c
+}
+
+// Params returns the parameter count.
+func (c *Conv) Params() int { return len(c.Weights) + len(c.Bias) }
+
+func (c *Conv) costScale() int64 {
+	if c.CostScale < 1 {
+		return 1
+	}
+	return c.CostScale
+}
+
+// Bind allocates the layer's weights in the process address space.
+func (c *Conv) Bind(space *sim.AddressSpace, name string) {
+	c.wbuf = space.Alloc(name, 4*c.Params())
+}
+
+// Forward applies the layer to in, charging the model: weight lines are
+// touched once per (filter, row) work item and MACs are charged as
+// compute cycles.
+func (c *Conv) Forward(g *sim.Group, in *Tensor, inBuf sim.Buffer, out *Tensor, outBuf sim.Buffer) {
+	pad := c.K / 2
+	items := c.OutC * in.H
+	g.ParFor(items, 2, func(ctx *sim.Ctx, item int) {
+		oc := item / in.H
+		y := item % in.H
+		// Touch this filter's weights (one read per cache line).
+		wBase := oc * c.InC * c.K * c.K
+		for off := 0; off < c.InC*c.K*c.K; off += 16 {
+			ctx.Read(c.wbuf.Index(wBase+off, 4))
+		}
+		for x := 0; x < in.W; x++ {
+			var acc float32 = c.Bias[oc]
+			for ic := 0; ic < c.InC; ic++ {
+				for ky := 0; ky < c.K; ky++ {
+					yy := y + ky - pad
+					if yy < 0 || yy >= in.H {
+						continue
+					}
+					for kx := 0; kx < c.K; kx++ {
+						xx := x + kx - pad
+						if xx < 0 || xx >= in.W {
+							continue
+						}
+						w := c.Weights[((oc*c.InC+ic)*c.K+ky)*c.K+kx]
+						acc += w * in.At(ic, yy, xx)
+					}
+				}
+			}
+			if acc < 0 {
+				acc = 0 // ReLU
+			}
+			out.Set(oc, y, x, acc)
+			if x%16 == 0 {
+				ctx.Read(inBuf.Index((y*in.W+x)%(inBuf.Size/4), 4))
+				ctx.Write(outBuf.Index(((oc*in.H+y)*in.W+x)%(outBuf.Size/4), 4))
+			}
+		}
+		ctx.Compute(c.costScale() * int64(in.W*c.InC*c.K*c.K)) // one cycle per MAC
+	})
+}
+
+// MaxPool2 halves spatial dimensions with a 2x2 max pool.
+func MaxPool2(g *sim.Group, in *Tensor, inBuf sim.Buffer, out *Tensor, outBuf sim.Buffer) {
+	g.ParFor(in.C, 1, func(ctx *sim.Ctx, c int) {
+		for y := 0; y < out.H; y++ {
+			for x := 0; x < out.W; x++ {
+				m := in.At(c, 2*y, 2*x)
+				if v := in.At(c, 2*y, 2*x+1); v > m {
+					m = v
+				}
+				if v := in.At(c, 2*y+1, 2*x); v > m {
+					m = v
+				}
+				if v := in.At(c, 2*y+1, 2*x+1); v > m {
+					m = v
+				}
+				out.Set(c, y, x, m)
+				if x%16 == 0 {
+					ctx.Read(inBuf.Index((c*in.H*in.W+2*y*in.W+2*x)%(inBuf.Size/4), 4))
+					ctx.Write(outBuf.Index((c*out.H*out.W+y*out.W+x)%(outBuf.Size/4), 4))
+				}
+			}
+		}
+		ctx.Compute(int64(out.H * out.W * 4))
+	})
+}
+
+// FC is a fully connected layer (optionally ReLU).
+type FC struct {
+	In, Out   int
+	Weights   []float32
+	Bias      []float32
+	ReLU      bool
+	CostScale int64
+	wbuf      sim.Buffer
+}
+
+// NewFC builds a fully connected layer with deterministic weights.
+func NewFC(in, out int, relu bool, seed uint32) *FC {
+	f := &FC{In: in, Out: out, ReLU: relu}
+	f.Weights = make([]float32, in*out)
+	f.Bias = make([]float32, out)
+	scale := float32(math.Sqrt(2 / float64(in)))
+	for i := range f.Weights {
+		f.Weights[i] = hashFloat(seed, uint32(i)) * scale
+	}
+	return f
+}
+
+// Params returns the parameter count.
+func (f *FC) Params() int { return len(f.Weights) + len(f.Bias) }
+
+// Bind allocates the layer's weights.
+func (f *FC) Bind(space *sim.AddressSpace, name string) {
+	f.wbuf = space.Alloc(name, 4*f.Params())
+}
+
+// Forward computes out = act(W*in + b), touching every weight cache line.
+func (f *FC) Forward(g *sim.Group, in, out []float32) {
+	g.ParFor(f.Out, 1, func(ctx *sim.Ctx, o int) {
+		acc := f.Bias[o]
+		base := o * f.In
+		for i := 0; i < f.In; i++ {
+			acc += f.Weights[base+i] * in[i]
+			if i%16 == 0 {
+				ctx.Read(f.wbuf.Index(base+i, 4))
+			}
+		}
+		if f.ReLU && acc < 0 {
+			acc = 0
+		}
+		out[o] = acc
+		cs := f.CostScale
+		if cs < 1 {
+			cs = 1
+		}
+		ctx.Compute(cs * int64(f.In))
+	})
+}
+
+// Softmax normalizes logits into probabilities in place.
+func Softmax(v []float32) {
+	var max float32 = v[0]
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+	}
+	var sum float64
+	for i, x := range v {
+		e := math.Exp(float64(x - max))
+		v[i] = float32(e)
+		sum += e
+	}
+	for i := range v {
+		v[i] = float32(float64(v[i]) / sum)
+	}
+}
+
+// hashFloat derives a deterministic value in [-1, 1] from (seed, i).
+func hashFloat(seed, i uint32) float32 {
+	h := seed*2654435761 + i*40503
+	h ^= h >> 13
+	h *= 2246822519
+	h ^= h >> 16
+	return float32(int32(h%2001)-1000) / 1000
+}

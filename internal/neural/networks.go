@@ -1,0 +1,237 @@
+package neural
+
+import (
+	"ironhide/internal/arch"
+	"ironhide/internal/sim"
+	"ironhide/internal/vision"
+)
+
+// feeder provides frames to consume; the VISION pipeline implements it.
+type feeder interface {
+	Output() *vision.Frame
+}
+
+// AlexNet is the secure ALEXNET perception process: a scaled AlexNet-shaped
+// network (conv-pool-conv-pool-FC-FC) plus a large sparsely-streamed
+// classifier table standing in for the original's ~55 MB fully connected
+// weights — the component that makes ALEXNET last-level-cache hungry.
+type AlexNet struct {
+	src feeder
+
+	conv1, conv2 *Conv
+	fc1, fc2     *FC
+	tableBytes   int
+	tableBuf     sim.Buffer
+
+	in, c1, p1, c2, p2   *Tensor
+	inBuf, t1Buf, t2Buf  sim.Buffer
+	flat, hidden, logits []float32
+	lastClass            int
+}
+
+// NewAlexNet builds the process consuming frames from src; tableBytes
+// sizes the classifier table (default 8 MB if zero).
+func NewAlexNet(src feeder, tableBytes int) *AlexNet {
+	if tableBytes == 0 {
+		tableBytes = 8 << 20
+	}
+	return &AlexNet{src: src, tableBytes: tableBytes}
+}
+
+// Name implements workload.Process.
+func (*AlexNet) Name() string { return "ALEXNET" }
+
+// Domain implements workload.Process.
+func (*AlexNet) Domain() arch.Domain { return arch.Secure }
+
+// Threads implements workload.Process.
+func (*AlexNet) Threads() int { return 48 }
+
+// Init implements workload.Process.
+func (a *AlexNet) Init(m *sim.Machine, space *sim.AddressSpace) {
+	f := a.src.Output()
+	w, h := 32, 32
+	if f != nil {
+		w, h = f.W, f.H
+	}
+	a.conv1 = NewConv(1, 8, 5, 11)
+	a.conv1.CostScale = 3
+	a.conv2 = NewConv(8, 16, 3, 13)
+	a.conv2.CostScale = 3
+	a.in = NewTensor(1, h, w)
+	a.c1 = NewTensor(8, h, w)
+	a.p1 = NewTensor(8, h/2, w/2)
+	a.c2 = NewTensor(16, h/2, w/2)
+	a.p2 = NewTensor(16, h/4, w/4)
+	flat := 16 * (h / 4) * (w / 4)
+	a.fc1 = NewFC(flat, 128, true, 17)
+	a.fc1.CostScale = 2
+	a.fc2 = NewFC(128, 10, false, 19)
+	a.flat = make([]float32, flat)
+	a.hidden = make([]float32, 128)
+	a.logits = make([]float32, 10)
+
+	a.conv1.Bind(space, "conv1-w")
+	a.conv2.Bind(space, "conv2-w")
+	a.fc1.Bind(space, "fc1-w")
+	a.fc2.Bind(space, "fc2-w")
+	a.inBuf = space.Alloc("input", 4*len(a.in.Data))
+	a.t1Buf = space.Alloc("act1", 4*len(a.c1.Data))
+	a.t2Buf = space.Alloc("act2", 4*len(a.c2.Data))
+	a.tableBuf = space.Alloc("classifier-table", a.tableBytes)
+}
+
+// Round implements workload.Process: one full inference on the latest
+// frame, including the streamed classifier-table pass.
+func (a *AlexNet) Round(g *sim.Group, round int) {
+	frame := a.src.Output()
+	if frame != nil {
+		copy(a.in.Data, frame.Pix)
+	}
+	g.ParFor(len(a.in.Data)/16, 4, func(c *sim.Ctx, i int) {
+		c.Write(a.inBuf.Index(i*16, 4))
+	})
+
+	a.conv1.Forward(g, a.in, a.inBuf, a.c1, a.t1Buf)
+	MaxPool2(g, a.c1, a.t1Buf, a.p1, a.t1Buf)
+	a.conv2.Forward(g, a.p1, a.t1Buf, a.c2, a.t2Buf)
+	MaxPool2(g, a.c2, a.t2Buf, a.p2, a.t2Buf)
+	copy(a.flat, a.p2.Data)
+	a.fc1.Forward(g, a.flat, a.hidden)
+	a.fc2.Forward(g, a.hidden, a.logits)
+
+	// Classifier-table pass: stream a deterministic stripe of the big
+	// table (tiled FC6 emulation), one read per line, low reuse.
+	lines := a.tableBytes / 64
+	stripe := lines / 16
+	start := (round * stripe) % lines
+	g.ParFor(stripe, 8, func(c *sim.Ctx, i int) {
+		c.Read(a.tableBuf.Index(((start+i)%lines)*64/4, 4))
+		c.Compute(120)
+	})
+
+	Softmax(a.logits)
+	best := 0
+	for i, p := range a.logits {
+		if p > a.logits[best] {
+			best = i
+		}
+		_ = p
+	}
+	a.lastClass = best
+}
+
+// Classify returns the class of the most recent inference.
+func (a *AlexNet) Classify() int { return a.lastClass }
+
+// Probabilities returns the last softmax output.
+func (a *AlexNet) Probabilities() []float32 { return a.logits }
+
+// SqueezeNet is the secure SQZ-NET perception process: fire modules
+// (1x1 squeeze then parallel 1x1/3x3 expand) with ~50x fewer parameters
+// than ALEXNET — compute-dense but cache-light, as in the original.
+type SqueezeNet struct {
+	src feeder
+
+	squeeze1, expand1a, expand1b *Conv
+	squeeze2, expand2a, expand2b *Conv
+	fc                           *FC
+
+	in, s1, e1, m1, s2, e2, m2 *Tensor
+	inBuf, actBuf              sim.Buffer
+	pooled, logits             []float32
+	lastClass                  int
+}
+
+// NewSqueezeNet builds the process consuming frames from src.
+func NewSqueezeNet(src feeder) *SqueezeNet { return &SqueezeNet{src: src} }
+
+// Name implements workload.Process.
+func (*SqueezeNet) Name() string { return "SQZ-NET" }
+
+// Domain implements workload.Process.
+func (*SqueezeNet) Domain() arch.Domain { return arch.Secure }
+
+// Threads implements workload.Process.
+func (*SqueezeNet) Threads() int { return 48 }
+
+// Init implements workload.Process.
+func (s *SqueezeNet) Init(m *sim.Machine, space *sim.AddressSpace) {
+	f := s.src.Output()
+	w, h := 32, 32
+	if f != nil {
+		w, h = f.W, f.H
+	}
+	s.squeeze1 = NewConv(1, 8, 1, 23)
+	s.expand1a = NewConv(8, 16, 1, 29)
+	s.expand1b = NewConv(8, 16, 3, 31)
+	s.squeeze2 = NewConv(32, 8, 1, 37)
+	s.expand2a = NewConv(8, 16, 1, 41)
+	s.expand2b = NewConv(8, 16, 3, 43)
+	for _, c := range []*Conv{s.squeeze1, s.expand1a, s.expand1b, s.squeeze2, s.expand2a, s.expand2b} {
+		c.CostScale = 2
+	}
+	s.in = NewTensor(1, h, w)
+	s.s1 = NewTensor(8, h, w)
+	s.e1 = NewTensor(16, h, w)
+	s.m1 = NewTensor(32, h, w)
+	s.s2 = NewTensor(8, h, w)
+	s.e2 = NewTensor(16, h, w)
+	s.m2 = NewTensor(32, h, w)
+	s.fc = NewFC(32, 10, false, 47)
+	s.pooled = make([]float32, 32)
+	s.logits = make([]float32, 10)
+
+	for i, c := range []*Conv{s.squeeze1, s.expand1a, s.expand1b, s.squeeze2, s.expand2a, s.expand2b} {
+		c.Bind(space, "fire-w"+string(rune('0'+i)))
+	}
+	s.fc.Bind(space, "fc-w")
+	s.inBuf = space.Alloc("input", 4*len(s.in.Data))
+	s.actBuf = space.Alloc("activations", 4*len(s.m1.Data))
+}
+
+// fire runs one fire module: squeeze then two expands concatenated.
+func (s *SqueezeNet) fire(g *sim.Group, in *Tensor, sq, ea, eb *Conv, sqOut, eOut, concat *Tensor) {
+	sq.Forward(g, in, s.inBuf, sqOut, s.actBuf)
+	ea.Forward(g, sqOut, s.actBuf, eOut, s.actBuf)
+	copy(concat.Data[:len(eOut.Data)], eOut.Data)
+	eb.Forward(g, sqOut, s.actBuf, eOut, s.actBuf)
+	copy(concat.Data[len(eOut.Data):], eOut.Data)
+}
+
+// Round implements workload.Process: one fire-module inference.
+func (s *SqueezeNet) Round(g *sim.Group, round int) {
+	frame := s.src.Output()
+	if frame != nil {
+		copy(s.in.Data, frame.Pix)
+	}
+	s.fire(g, s.in, s.squeeze1, s.expand1a, s.expand1b, s.s1, s.e1, s.m1)
+	s.fire(g, s.m1, s.squeeze2, s.expand2a, s.expand2b, s.s2, s.e2, s.m2)
+	// Global average pool.
+	g.ParFor(s.m2.C, 1, func(c *sim.Ctx, ch int) {
+		var sum float32
+		for i := 0; i < s.m2.H*s.m2.W; i++ {
+			sum += s.m2.Data[ch*s.m2.H*s.m2.W+i]
+			if i%16 == 0 {
+				c.Read(s.actBuf.Index((ch*s.m2.H*s.m2.W+i)%(s.actBuf.Size/4), 4))
+			}
+		}
+		s.pooled[ch] = sum / float32(s.m2.H*s.m2.W)
+		c.Compute(int64(s.m2.H * s.m2.W))
+	})
+	s.fc.Forward(g, s.pooled, s.logits)
+	Softmax(s.logits)
+	best := 0
+	for i := range s.logits {
+		if s.logits[i] > s.logits[best] {
+			best = i
+		}
+	}
+	s.lastClass = best
+}
+
+// Classify returns the class of the most recent inference.
+func (s *SqueezeNet) Classify() int { return s.lastClass }
+
+// Probabilities returns the last softmax output.
+func (s *SqueezeNet) Probabilities() []float32 { return s.logits }

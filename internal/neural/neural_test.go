@@ -1,0 +1,218 @@
+package neural
+
+import (
+	"math"
+	"testing"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/sim"
+	"ironhide/internal/vision"
+)
+
+func machine(t *testing.T) *sim.Machine {
+	t.Helper()
+	m, err := sim.NewMachine(arch.TileGx72())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func gang(m *sim.Machine, n int, d arch.Domain) *sim.Group {
+	ids := make([]arch.CoreID, n)
+	for i := range ids {
+		ids[i] = arch.CoreID(i)
+	}
+	return m.NewGroup(d, ids, 0)
+}
+
+func TestSoftmaxIsDistribution(t *testing.T) {
+	v := []float32{1, 2, 3, -1}
+	Softmax(v)
+	var sum float64
+	for _, p := range v {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %f out of range", p)
+		}
+		sum += float64(p)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Fatalf("softmax sums to %f", sum)
+	}
+	if !(v[2] > v[1] && v[1] > v[0] && v[0] > v[3]) {
+		t.Fatal("softmax not monotone in logits")
+	}
+}
+
+func TestConvShapeAndReLU(t *testing.T) {
+	m := machine(t)
+	space := m.NewSpace("net", arch.Secure)
+	conv := NewConv(1, 2, 3, 7)
+	conv.Bind(space, "w")
+	in := NewTensor(1, 8, 8)
+	for i := range in.Data {
+		in.Data[i] = float32(i%5) / 5
+	}
+	inBuf := space.Alloc("in", 4*len(in.Data))
+	out := NewTensor(2, 8, 8)
+	outBuf := space.Alloc("out", 4*len(out.Data))
+	g := gang(m, 4, arch.Secure)
+	conv.Forward(g, in, inBuf, out, outBuf)
+	for i, v := range out.Data {
+		if v < 0 {
+			t.Fatalf("ReLU output %d is negative: %f", i, v)
+		}
+	}
+	if g.MaxCycles() == 0 {
+		t.Fatal("conv charged nothing")
+	}
+}
+
+func TestConvDeterministicWeights(t *testing.T) {
+	a := NewConv(2, 4, 3, 11)
+	b := NewConv(2, 4, 3, 11)
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatal("same seed, different weights")
+		}
+	}
+	c := NewConv(2, 4, 3, 12)
+	diff := false
+	for i := range a.Weights {
+		if a.Weights[i] != c.Weights[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds gave identical weights")
+	}
+}
+
+func TestMaxPoolHalves(t *testing.T) {
+	m := machine(t)
+	space := m.NewSpace("net", arch.Secure)
+	in := NewTensor(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	inBuf := space.Alloc("in", 4*16)
+	out := NewTensor(1, 2, 2)
+	outBuf := space.Alloc("out", 4*4)
+	g := gang(m, 2, arch.Secure)
+	MaxPool2(g, in, inBuf, out, outBuf)
+	// Max of each 2x2 block of 0..15 laid out row-major.
+	want := []float32{5, 7, 13, 15}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("pool[%d] = %f, want %f", i, out.Data[i], want[i])
+		}
+	}
+}
+
+func TestFCMatchesManualDotProduct(t *testing.T) {
+	m := machine(t)
+	space := m.NewSpace("net", arch.Secure)
+	fc := NewFC(3, 2, false, 5)
+	fc.Bind(space, "w")
+	in := []float32{1, 2, 3}
+	out := make([]float32, 2)
+	g := gang(m, 2, arch.Secure)
+	fc.Forward(g, in, out)
+	for o := 0; o < 2; o++ {
+		want := fc.Bias[o]
+		for i := 0; i < 3; i++ {
+			want += fc.Weights[o*3+i] * in[i]
+		}
+		if math.Abs(float64(out[o]-want)) > 1e-5 {
+			t.Fatalf("fc[%d] = %f, want %f", o, out[o], want)
+		}
+	}
+}
+
+func pipelineWithFrame(t *testing.T, m *sim.Machine) *vision.Pipeline {
+	t.Helper()
+	p := vision.NewPipeline(32, 32, 3)
+	p.Init(m, m.NewSpace("VISION", arch.Insecure))
+	g := m.NewGroup(arch.Insecure, []arch.CoreID{60, 61}, 0)
+	p.Round(g, 0)
+	return p
+}
+
+func TestAlexNetInference(t *testing.T) {
+	m := machine(t)
+	src := pipelineWithFrame(t, m)
+	net := NewAlexNet(src, 1<<20)
+	net.Init(m, m.NewSpace("ALEXNET", arch.Secure))
+	g := gang(m, 8, arch.Secure)
+	net.Round(g, 0)
+	probs := net.Probabilities()
+	var sum float64
+	for _, p := range probs {
+		sum += float64(p)
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("class probabilities sum to %f", sum)
+	}
+	if c := net.Classify(); c < 0 || c >= len(probs) {
+		t.Fatalf("class %d out of range", c)
+	}
+	if g.MaxCycles() == 0 {
+		t.Fatal("inference charged nothing")
+	}
+}
+
+func TestAlexNetDeterministic(t *testing.T) {
+	run := func() int {
+		m := machine(t)
+		src := pipelineWithFrame(t, m)
+		net := NewAlexNet(src, 1<<20)
+		net.Init(m, m.NewSpace("ALEXNET", arch.Secure))
+		net.Round(gang(m, 8, arch.Secure), 0)
+		return net.Classify()
+	}
+	if run() != run() {
+		t.Fatal("nondeterministic inference")
+	}
+}
+
+func TestSqueezeNetInference(t *testing.T) {
+	m := machine(t)
+	src := pipelineWithFrame(t, m)
+	net := NewSqueezeNet(src)
+	net.Init(m, m.NewSpace("SQZ", arch.Secure))
+	g := gang(m, 8, arch.Secure)
+	net.Round(g, 0)
+	var sum float64
+	for _, p := range net.Probabilities() {
+		sum += float64(p)
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("probabilities sum to %f", sum)
+	}
+}
+
+// SqueezeNet's design point: far fewer parameters than AlexNet.
+func TestSqueezeNetSmallerThanAlexNet(t *testing.T) {
+	m := machine(t)
+	src := pipelineWithFrame(t, m)
+	an := NewAlexNet(src, 8<<20)
+	an.Init(m, m.NewSpace("ALEXNET", arch.Secure))
+	sq := NewSqueezeNet(src)
+	sq.Init(m, m.NewSpace("SQZ", arch.Secure))
+	anParams := an.conv1.Params() + an.conv2.Params() + an.fc1.Params() + an.fc2.Params() + an.tableBytes/4
+	sqParams := sq.squeeze1.Params() + sq.expand1a.Params() + sq.expand1b.Params() +
+		sq.squeeze2.Params() + sq.expand2a.Params() + sq.expand2b.Params() + sq.fc.Params()
+	if sqParams*10 > anParams {
+		t.Fatalf("SQZ-NET (%d params) not ~an order smaller than ALEXNET (%d)", sqParams, anParams)
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	if (&AlexNet{}).Name() != "ALEXNET" || (&SqueezeNet{}).Name() != "SQZ-NET" {
+		t.Fatal("names changed")
+	}
+	if (&AlexNet{}).Domain() != arch.Secure || (&SqueezeNet{}).Domain() != arch.Secure {
+		t.Fatal("domains wrong")
+	}
+}

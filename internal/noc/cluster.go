@@ -1,0 +1,109 @@
+package noc
+
+import (
+	"fmt"
+
+	"ironhide/internal/arch"
+)
+
+// Cluster identifies one of IRONHIDE's two spatially isolated clusters.
+type Cluster int
+
+const (
+	// InsecureCluster executes ordinary processes and the untrusted OS.
+	InsecureCluster Cluster = 0
+	// SecureCluster executes attested secure processes and the secure kernel.
+	SecureCluster Cluster = 1
+)
+
+// String names the cluster.
+func (c Cluster) String() string {
+	if c == SecureCluster {
+		return "secure"
+	}
+	return "insecure"
+}
+
+// Split is a contiguous row-major partition of the mesh into a secure
+// prefix and an insecure suffix: cores [0, SecureCores) belong to the
+// secure cluster and the rest to the insecure cluster. Row-major
+// contiguity is what makes bidirectional X-Y/Y-X routing sufficient for
+// containment (Section III-B2): every row before the boundary row is
+// fully secure, every row after it fully insecure, and the boundary row is
+// split at SecureCores mod W.
+type Split struct {
+	SecureCores int
+	W, H        int
+}
+
+// NewSplit validates and returns a cluster split for a WxH mesh giving
+// secureCores cores to the secure cluster.
+func NewSplit(secureCores int, cfg arch.Config) (Split, error) {
+	s := Split{SecureCores: secureCores, W: cfg.MeshWidth, H: cfg.MeshHeight}
+	if secureCores < 0 || secureCores > s.W*s.H {
+		return Split{}, fmt.Errorf("noc: secure cluster of %d cores does not fit a %dx%d mesh", secureCores, s.W, s.H)
+	}
+	return s, nil
+}
+
+// ClusterOf returns the cluster owning a core.
+func (s Split) ClusterOf(core arch.CoreID) Cluster {
+	if int(core) < s.SecureCores {
+		return SecureCluster
+	}
+	return InsecureCluster
+}
+
+// Member returns the containment predicate for a cluster, in coordinates.
+func (s Split) Member(c Cluster) func(arch.Coord) bool {
+	return func(at arch.Coord) bool {
+		if at.X < 0 || at.X >= s.W || at.Y < 0 || at.Y >= s.H {
+			return false
+		}
+		idx := at.Y*s.W + at.X
+		return (Cluster(boolToInt(idx < s.SecureCores)) == c)
+	}
+}
+
+// Cores lists the cores of a cluster in ascending order.
+func (s Split) Cores(c Cluster) []arch.CoreID {
+	var out []arch.CoreID
+	lo, hi := 0, s.SecureCores
+	if c == InsecureCluster {
+		lo, hi = s.SecureCores, s.W*s.H
+	}
+	for i := lo; i < hi; i++ {
+		out = append(out, arch.CoreID(i))
+	}
+	return out
+}
+
+// Size returns the number of cores in a cluster.
+func (s Split) Size(c Cluster) int {
+	if c == SecureCluster {
+		return s.SecureCores
+	}
+	return s.W*s.H - s.SecureCores
+}
+
+// Moved returns the cores whose cluster assignment differs between s and
+// t; these are the cores whose private microarchitecture state must be
+// flushed-and-invalidated during a dynamic hardware isolation event.
+func (s Split) Moved(t Split) []arch.CoreID {
+	lo, hi := s.SecureCores, t.SecureCores
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	var out []arch.CoreID
+	for i := lo; i < hi; i++ {
+		out = append(out, arch.CoreID(i))
+	}
+	return out
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,118 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ironhide/internal/arch"
+)
+
+func TestSplitBasics(t *testing.T) {
+	cfg := arch.TileGx72()
+	s, err := NewSplit(10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size(SecureCluster) != 10 || s.Size(InsecureCluster) != 54 {
+		t.Fatalf("sizes = %d/%d", s.Size(SecureCluster), s.Size(InsecureCluster))
+	}
+	if s.ClusterOf(9) != SecureCluster || s.ClusterOf(10) != InsecureCluster {
+		t.Fatal("boundary classification wrong")
+	}
+	if got := len(s.Cores(SecureCluster)); got != 10 {
+		t.Fatalf("secure core list has %d entries", got)
+	}
+}
+
+func TestSplitRejectsOutOfRange(t *testing.T) {
+	cfg := arch.TileGx72()
+	if _, err := NewSplit(-1, cfg); err == nil {
+		t.Fatal("negative split accepted")
+	}
+	if _, err := NewSplit(65, cfg); err == nil {
+		t.Fatal("oversized split accepted")
+	}
+}
+
+func TestMemberMatchesClusterOf(t *testing.T) {
+	cfg := arch.TileGx72()
+	f := func(secRaw, coreRaw uint8) bool {
+		secure := int(secRaw) % 65
+		s, err := NewSplit(secure, cfg)
+		if err != nil {
+			return false
+		}
+		core := arch.CoreID(int(coreRaw) % 64)
+		at := cfg.CoordOf(core)
+		cl := s.ClusterOf(core)
+		return s.Member(cl)(at) && !s.Member(1-cl)(at)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemberRejectsOffMesh(t *testing.T) {
+	cfg := arch.TileGx72()
+	s, _ := NewSplit(32, cfg)
+	for _, at := range []arch.Coord{xy(-1, 0), xy(0, -1), xy(8, 0), xy(0, 8)} {
+		if s.Member(SecureCluster)(at) || s.Member(InsecureCluster)(at) {
+			t.Fatalf("off-mesh coordinate %v accepted", at)
+		}
+	}
+}
+
+func TestMoved(t *testing.T) {
+	cfg := arch.TileGx72()
+	a, _ := NewSplit(32, cfg)
+	b, _ := NewSplit(36, cfg)
+	moved := a.Moved(b)
+	if len(moved) != 4 || moved[0] != 32 || moved[3] != 35 {
+		t.Fatalf("moved = %v, want cores 32..35", moved)
+	}
+	// Symmetry.
+	if got := b.Moved(a); len(got) != 4 {
+		t.Fatalf("reverse move = %v", got)
+	}
+	if got := a.Moved(a); len(got) != 0 {
+		t.Fatalf("no-op reconfiguration moved %v", got)
+	}
+}
+
+// Property: every core belongs to exactly one cluster, and the two core
+// lists partition the mesh.
+func TestSplitPartitions(t *testing.T) {
+	cfg := arch.TileGx72()
+	f := func(secRaw uint8) bool {
+		secure := int(secRaw) % 65
+		s, err := NewSplit(secure, cfg)
+		if err != nil {
+			return false
+		}
+		seen := map[arch.CoreID]int{}
+		for _, c := range s.Cores(SecureCluster) {
+			seen[c]++
+		}
+		for _, c := range s.Cores(InsecureCluster) {
+			seen[c]++
+		}
+		if len(seen) != 64 {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	if SecureCluster.String() != "secure" || InsecureCluster.String() != "insecure" {
+		t.Fatal("cluster names changed")
+	}
+}

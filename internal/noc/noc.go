@@ -1,0 +1,184 @@
+// Package noc models the 2-D mesh on-chip network of the Tile-Gx72 and the
+// deterministic dimension-ordered routing IRONHIDE relies on for strong
+// isolation.
+//
+// With plain X-Y routing, packets between two cores of one cluster can
+// drift through routers belonging to the other cluster whenever a row is
+// split between clusters. The paper therefore requires *bidirectional*
+// deterministic routing: each packet is routed X-Y or Y-X, whichever keeps
+// the whole path inside the source cluster (Section III-B2). This package
+// implements both orders, containment checking, and the route chooser, and
+// exposes per-link traffic counters used by the evaluation.
+package noc
+
+import (
+	"fmt"
+
+	"ironhide/internal/arch"
+)
+
+// Order is a dimension ordering for deterministic routing.
+type Order int
+
+const (
+	// XY routes along the row first, then the column.
+	XY Order = iota
+	// YX routes along the column first, then the row.
+	YX
+)
+
+// String names the ordering.
+func (o Order) String() string {
+	if o == XY {
+		return "X-Y"
+	}
+	return "Y-X"
+}
+
+// Mesh is a W x H grid of routers with per-link traffic accounting.
+type Mesh struct {
+	W, H      int
+	hopLat    int64
+	routerLat int64
+	traffic   map[[2]arch.Coord]int64 // directed link -> flits
+}
+
+// New builds a mesh from the machine configuration.
+func New(cfg arch.Config) *Mesh {
+	return &Mesh{
+		W:         cfg.MeshWidth,
+		H:         cfg.MeshHeight,
+		hopLat:    cfg.HopLat,
+		routerLat: cfg.RouterLat,
+		traffic:   make(map[[2]arch.Coord]int64),
+	}
+}
+
+// Path computes the deterministic dimension-ordered path from src to dst
+// (inclusive of both endpoints) under the given ordering.
+func Path(src, dst arch.Coord, order Order) []arch.Coord {
+	path := make([]arch.Coord, 0, abs(dst.X-src.X)+abs(dst.Y-src.Y)+1)
+	at := src
+	path = append(path, at)
+	stepX := func() {
+		for at.X != dst.X {
+			at.X += sign(dst.X - at.X)
+			path = append(path, at)
+		}
+	}
+	stepY := func() {
+		for at.Y != dst.Y {
+			at.Y += sign(dst.Y - at.Y)
+			path = append(path, at)
+		}
+	}
+	if order == XY {
+		stepX()
+		stepY()
+	} else {
+		stepY()
+		stepX()
+	}
+	return path
+}
+
+// Contained reports whether every router of the path satisfies member.
+func Contained(path []arch.Coord, member func(arch.Coord) bool) bool {
+	for _, at := range path {
+		if !member(at) {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrNoContainedRoute is returned when neither X-Y nor Y-X keeps an
+// intra-cluster packet inside its cluster; under IRONHIDE's contiguous
+// row-major cluster allocations this must never happen, and the property
+// tests prove it.
+type ErrNoContainedRoute struct {
+	Src, Dst arch.Coord
+}
+
+// Error implements error.
+func (e ErrNoContainedRoute) Error() string {
+	return fmt.Sprintf("noc: no contained route %v -> %v under X-Y or Y-X", e.Src, e.Dst)
+}
+
+// Route picks the deterministic ordering for an intra-cluster packet:
+// X-Y if the whole X-Y path stays inside the cluster, otherwise Y-X if
+// that stays inside, otherwise an ErrNoContainedRoute. member defines the
+// cluster of the packet's source and destination.
+func Route(src, dst arch.Coord, member func(arch.Coord) bool) ([]arch.Coord, Order, error) {
+	if p := Path(src, dst, XY); Contained(p, member) {
+		return p, XY, nil
+	}
+	if p := Path(src, dst, YX); Contained(p, member) {
+		return p, YX, nil
+	}
+	return nil, XY, ErrNoContainedRoute{Src: src, Dst: dst}
+}
+
+// Latency returns the traversal cycles for a path: injection/ejection
+// overhead plus one hop per link crossed.
+func (m *Mesh) Latency(path []arch.Coord) int64 {
+	if len(path) <= 1 {
+		// Local delivery still pays router injection/ejection.
+		return m.routerLat
+	}
+	return m.routerLat + int64(len(path)-1)*m.hopLat
+}
+
+// Record charges the path's links with one flit of traffic.
+func (m *Mesh) Record(path []arch.Coord) {
+	for i := 0; i+1 < len(path); i++ {
+		m.traffic[[2]arch.Coord{path[i], path[i+1]}]++
+	}
+}
+
+// LinkTraffic reports the flits recorded on the directed link a->b.
+func (m *Mesh) LinkTraffic(a, b arch.Coord) int64 {
+	return m.traffic[[2]arch.Coord{a, b}]
+}
+
+// TotalTraffic sums flits over all links.
+func (m *Mesh) TotalTraffic() int64 {
+	var t int64
+	for _, n := range m.traffic {
+		t += n
+	}
+	return t
+}
+
+// TrafficThrough sums flits entering routers that fail member — i.e.,
+// traffic that drifted outside a cluster. The strong-isolation tests
+// assert this is zero for intra-cluster traffic.
+func (m *Mesh) TrafficThrough(member func(arch.Coord) bool) int64 {
+	var t int64
+	for link, n := range m.traffic {
+		if !member(link[0]) || !member(link[1]) {
+			t += n
+		}
+	}
+	return t
+}
+
+// ResetTraffic clears the link counters.
+func (m *Mesh) ResetTraffic() { m.traffic = make(map[[2]arch.Coord]int64) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,119 @@
+// Package querygen implements the insecure QUERY process of the paper's
+// query-encryption application: a YCSB-style workload generator (Cooper et
+// al.) that periodically produces database queries — for an ATM-like
+// system — which are then handed to the secure AES process for
+// encryption. Keys follow a Zipfian popularity distribution, as in YCSB's
+// default request distribution.
+package querygen
+
+import (
+	"math/rand"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/sim"
+)
+
+// Op is a YCSB-style operation type.
+type Op int
+
+const (
+	// Read is a point lookup.
+	Read Op = iota
+	// Update overwrites a record.
+	Update
+	// Insert adds a record.
+	Insert
+)
+
+// Query is one generated request.
+type Query struct {
+	Op    Op
+	Key   uint32
+	Value []byte
+}
+
+// Generator is the QUERY insecure process.
+type Generator struct {
+	keySpace int
+	batch    int
+	valueLen int
+	zipf     *rand.Zipf
+	rng      *rand.Rand
+
+	queue []Query
+
+	recordBuf sim.Buffer
+	stageBuf  sim.Buffer
+}
+
+// NewGenerator builds a QUERY process producing batch queries per round
+// over keySpace keys with valueLen-byte payloads.
+func NewGenerator(keySpace, batch, valueLen int, seed int64) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return &Generator{
+		keySpace: keySpace,
+		batch:    batch,
+		valueLen: valueLen,
+		rng:      rng,
+		zipf:     rand.NewZipf(rng, 1.2, 1, uint64(keySpace-1)),
+	}
+}
+
+// Name implements workload.Process.
+func (*Generator) Name() string { return "QUERY" }
+
+// Domain implements workload.Process.
+func (*Generator) Domain() arch.Domain { return arch.Insecure }
+
+// Threads implements workload.Process: generation is light.
+func (*Generator) Threads() int { return 8 }
+
+// Init implements workload.Process.
+func (g *Generator) Init(m *sim.Machine, space *sim.AddressSpace) {
+	g.recordBuf = space.Alloc("records", g.keySpace*16)
+	g.stageBuf = space.Alloc("stage", g.batch*g.valueLen)
+}
+
+// Round implements workload.Process: draw a Zipfian key batch and build
+// the query payloads.
+func (g *Generator) Round(grp *sim.Group, round int) {
+	g.queue = g.queue[:0]
+	keys := make([]uint32, g.batch)
+	ops := make([]Op, g.batch)
+	for i := range keys {
+		keys[i] = uint32(g.zipf.Uint64())
+		switch r := g.rng.Float64(); {
+		case r < 0.5:
+			ops[i] = Read
+		case r < 0.9:
+			ops[i] = Update
+		default:
+			ops[i] = Insert
+		}
+	}
+	queries := make([]Query, g.batch)
+	grp.ParFor(g.batch, 4, func(c *sim.Ctx, i int) {
+		v := make([]byte, g.valueLen)
+		for j := range v {
+			v[j] = byte(keys[i]>>(uint(j)%24)) ^ byte(j*31) ^ byte(round)
+		}
+		queries[i] = Query{Op: ops[i], Key: keys[i], Value: v}
+		c.Read(g.recordBuf.Index(int(keys[i])%g.keySpace, 16))
+		for j := 0; j < g.valueLen; j += 64 {
+			c.Write(g.stageBuf.Index((i*g.valueLen+j)%g.stageBuf.Size, 1))
+		}
+		c.Compute(int64(4 * g.valueLen))
+	})
+	g.queue = queries
+}
+
+// Drain hands the round's batch to the consumer.
+func (g *Generator) Drain() []Query {
+	out := g.queue
+	g.queue = nil
+	return out
+}
+
+// Inject places a batch back in the queue (tests peek at a batch and then
+// hand it to the consumer).
+func (g *Generator) Inject(batch []Query) { g.queue = batch }

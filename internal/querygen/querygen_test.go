@@ -1,0 +1,109 @@
+package querygen
+
+import (
+	"testing"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Machine, *Generator, *sim.Group) {
+	t.Helper()
+	m, err := sim.NewMachine(arch.TileGx72())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(8192, 64, 128, 11)
+	g.Init(m, m.NewSpace("QUERY", arch.Insecure))
+	grp := m.NewGroup(arch.Insecure, []arch.CoreID{0, 1}, 0)
+	return m, g, grp
+}
+
+func TestBatchShape(t *testing.T) {
+	_, g, grp := setup(t)
+	g.Round(grp, 0)
+	batch := g.Drain()
+	if len(batch) != 64 {
+		t.Fatalf("batch of %d queries, want 64", len(batch))
+	}
+	for i, q := range batch {
+		if int(q.Key) >= 8192 {
+			t.Fatalf("query %d key %d out of space", i, q.Key)
+		}
+		if len(q.Value) != 128 {
+			t.Fatalf("query %d value %dB, want 128", i, len(q.Value))
+		}
+		if q.Op != Read && q.Op != Update && q.Op != Insert {
+			t.Fatalf("query %d has op %d", i, q.Op)
+		}
+	}
+	if g.Drain() != nil {
+		t.Fatal("stale drain")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	_, g, grp := setup(t)
+	counts := map[uint32]int{}
+	for r := 0; r < 50; r++ {
+		g.Round(grp, r)
+		for _, q := range g.Drain() {
+			counts[q.Key]++
+		}
+	}
+	// Zipf: the most popular key should dwarf the median.
+	var maxCount int
+	for _, n := range counts {
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	if maxCount < 50*64/20 {
+		t.Fatalf("hot key seen %d times out of %d; distribution not skewed", maxCount, 50*64)
+	}
+}
+
+func TestOpMixRoughly(t *testing.T) {
+	_, g, grp := setup(t)
+	var reads, updates, inserts int
+	for r := 0; r < 40; r++ {
+		g.Round(grp, r)
+		for _, q := range g.Drain() {
+			switch q.Op {
+			case Read:
+				reads++
+			case Update:
+				updates++
+			default:
+				inserts++
+			}
+		}
+	}
+	total := reads + updates + inserts
+	if reads < total/3 {
+		t.Fatalf("reads = %d/%d; mix should be read-heavy", reads, total)
+	}
+	if inserts > total/4 {
+		t.Fatalf("inserts = %d/%d; should be rare", inserts, total)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	_, g1, grp1 := setup(t)
+	_, g2, grp2 := setup(t)
+	g1.Round(grp1, 0)
+	g2.Round(grp2, 0)
+	a, b := g1.Drain(), g2.Drain()
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Op != b[i].Op {
+			t.Fatal("nondeterministic generation")
+		}
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	g := NewGenerator(16, 1, 16, 1)
+	if g.Name() != "QUERY" || g.Domain() != arch.Insecure || g.Threads() <= 0 {
+		t.Fatal("metadata wrong")
+	}
+}

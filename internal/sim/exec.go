@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ironhide/internal/arch"
+)
+
+// Ctx is the execution context of one simulated thread: a core binding, a
+// security domain, and a logical cycle clock. Workload kernels perform
+// their real computation on ordinary Go data and charge the model through
+// Read/Write/Compute.
+type Ctx struct {
+	m      *Machine
+	group  *Group
+	TID    int
+	Core   arch.CoreID
+	Domain arch.Domain
+	cycles int64
+
+	Reads  int64
+	Writes int64
+}
+
+// Cycles returns the thread's logical clock.
+func (c *Ctx) Cycles() int64 { return c.cycles }
+
+// Compute charges n cycles of pure computation.
+func (c *Ctx) Compute(n int64) { c.cycles += n }
+
+// Read charges one load of addr.
+func (c *Ctx) Read(addr arch.Addr) {
+	c.Reads++
+	c.cycles += c.m.Access(c.Core, addr, false, c.Domain, c.cycles)
+}
+
+// Write charges one store to addr.
+func (c *Ctx) Write(addr arch.Addr) {
+	c.Writes++
+	c.cycles += c.m.Access(c.Core, addr, true, c.Domain, c.cycles)
+}
+
+// Atomic charges one read-modify-write of addr plus the serialization
+// penalty of contending with the group's other threads — the cost that
+// makes barrier- and atomic-heavy kernels (the paper's TC) prefer small
+// clusters.
+func (c *Ctx) Atomic(addr arch.Addr) {
+	c.Read(addr)
+	c.Write(addr)
+	if c.group != nil && len(c.group.ctxs) > 1 {
+		c.cycles += int64(len(c.group.ctxs)-1) * c.m.Cfg.AtomicContention
+	}
+}
+
+// Group is a gang of threads pinned one-per-core on a set of cores,
+// executing deterministically. It is the unit the driver schedules: a
+// process's threads for one interaction round form one group.
+type Group struct {
+	m      *Machine
+	Domain arch.Domain
+	ctxs   []*Ctx
+	start  int64
+}
+
+// NewGroup pins one thread on each of the given cores, all starting their
+// clocks at start.
+func (m *Machine) NewGroup(d arch.Domain, cores []arch.CoreID, start int64) *Group {
+	if len(cores) == 0 {
+		panic("sim: group needs at least one core")
+	}
+	g := &Group{m: m, Domain: d, start: start}
+	for i, core := range cores {
+		g.ctxs = append(g.ctxs, &Ctx{m: m, group: g, TID: i, Core: core, Domain: d, cycles: start})
+	}
+	return g
+}
+
+// Threads returns the gang size.
+func (g *Group) Threads() int { return len(g.ctxs) }
+
+// Start returns the gang's phase start time.
+func (g *Group) Start() int64 { return g.start }
+
+// Ctx returns thread tid's context.
+func (g *Group) Ctx(tid int) *Ctx { return g.ctxs[tid] }
+
+// MaxCycles returns the latest thread clock — the gang's completion time.
+func (g *Group) MaxCycles() int64 {
+	worst := g.start
+	for _, c := range g.ctxs {
+		if c.cycles > worst {
+			worst = c.cycles
+		}
+	}
+	return worst
+}
+
+// Barrier synchronizes the gang: every thread advances to the maximum
+// clock plus the barrier cost, which grows logarithmically with gang size
+// (a tournament barrier).
+func (g *Group) Barrier() {
+	target := g.MaxCycles() + g.BarrierCost()
+	for _, c := range g.ctxs {
+		c.cycles = target
+	}
+}
+
+// BarrierCost returns the cost of one barrier for this gang size.
+func (g *Group) BarrierCost() int64 {
+	if len(g.ctxs) <= 1 {
+		return 0
+	}
+	return g.m.Cfg.BarrierBaseLat * int64(bits.Len(uint(len(g.ctxs)-1)))
+}
+
+// ParFor executes body for every i in [0, n), splitting the iterations
+// into chunks distributed round-robin over the gang's threads. Chunks are
+// executed in index order with rotating thread clocks, which interleaves
+// the threads' memory traffic deterministically — an approximation of
+// concurrent execution that keeps runs reproducible. A barrier closes the
+// loop.
+func (g *Group) ParFor(n, chunk int, body func(c *Ctx, i int)) {
+	if n <= 0 {
+		g.Barrier()
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	t := len(g.ctxs)
+	nChunks := (n + chunk - 1) / chunk
+	for k := 0; k < nChunks; k++ {
+		c := g.ctxs[k%t]
+		hi := (k + 1) * chunk
+		if hi > n {
+			hi = n
+		}
+		for i := k * chunk; i < hi; i++ {
+			body(c, i)
+		}
+	}
+	g.Barrier()
+}
+
+// Seq executes body on thread 0 alone, then synchronizes the gang — the
+// serial sections of a kernel.
+func (g *Group) Seq(body func(c *Ctx)) {
+	body(g.ctxs[0])
+	g.Barrier()
+}
+
+// AdvanceTo moves every thread clock forward to at least t (a gang
+// blocked on an external event, e.g. waiting for the IPC reply).
+func (g *Group) AdvanceTo(t int64) {
+	for _, c := range g.ctxs {
+		if c.cycles < t {
+			c.cycles = t
+		}
+	}
+}
+
+// String summarizes the gang.
+func (g *Group) String() string {
+	return fmt.Sprintf("group(%v, %d threads, start %d)", g.Domain, len(g.ctxs), g.start)
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"testing"
+
+	"ironhide/internal/arch"
+)
+
+func cores(ids ...int) []arch.CoreID {
+	out := make([]arch.CoreID, len(ids))
+	for i, id := range ids {
+		out[i] = arch.CoreID(id)
+	}
+	return out
+}
+
+func TestGroupBasics(t *testing.T) {
+	m := newTestMachine(t)
+	g := m.NewGroup(arch.Insecure, cores(0, 1, 2), 100)
+	if g.Threads() != 3 || g.Start() != 100 || g.MaxCycles() != 100 {
+		t.Fatalf("fresh group state wrong: %v", g)
+	}
+	g.Ctx(1).Compute(50)
+	if g.MaxCycles() != 150 {
+		t.Fatalf("MaxCycles = %d", g.MaxCycles())
+	}
+}
+
+func TestGroupNeedsCores(t *testing.T) {
+	m := newTestMachine(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty group did not panic")
+		}
+	}()
+	m.NewGroup(arch.Insecure, nil, 0)
+}
+
+func TestBarrierSynchronizesAndCosts(t *testing.T) {
+	m := newTestMachine(t)
+	g := m.NewGroup(arch.Insecure, cores(0, 1, 2, 3), 0)
+	g.Ctx(2).Compute(1000)
+	g.Barrier()
+	want := int64(1000) + g.BarrierCost()
+	for tid := 0; tid < 4; tid++ {
+		if got := g.Ctx(tid).Cycles(); got != want {
+			t.Fatalf("thread %d at %d after barrier, want %d", tid, got, want)
+		}
+	}
+	if g.BarrierCost() != 2*m.Cfg.BarrierBaseLat { // ceil(log2(4)) = 2
+		t.Fatalf("barrier cost = %d", g.BarrierCost())
+	}
+}
+
+func TestBarrierFreeForSingleThread(t *testing.T) {
+	m := newTestMachine(t)
+	g := m.NewGroup(arch.Insecure, cores(0), 0)
+	if g.BarrierCost() != 0 {
+		t.Fatal("singleton barrier should be free")
+	}
+}
+
+func TestBarrierCostGrowsWithGangSize(t *testing.T) {
+	m := newTestMachine(t)
+	prev := int64(-1)
+	for _, n := range []int{1, 2, 4, 16, 62} {
+		ids := make([]arch.CoreID, n)
+		for i := range ids {
+			ids[i] = arch.CoreID(i)
+		}
+		g := m.NewGroup(arch.Insecure, ids, 0)
+		if g.BarrierCost() < prev {
+			t.Fatalf("barrier cost shrank at %d threads", n)
+		}
+		prev = g.BarrierCost()
+	}
+}
+
+func TestParForCoversAllItemsOnce(t *testing.T) {
+	m := newTestMachine(t)
+	g := m.NewGroup(arch.Insecure, cores(0, 1, 2), 0)
+	seen := make([]int, 10)
+	g.ParFor(10, 2, func(c *Ctx, i int) {
+		seen[i]++
+		c.Compute(1)
+	})
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d executed %d times", i, n)
+		}
+	}
+}
+
+func TestParForDistributesAcrossThreads(t *testing.T) {
+	m := newTestMachine(t)
+	g := m.NewGroup(arch.Insecure, cores(0, 1, 2, 3), 0)
+	byTID := map[int]int{}
+	g.ParFor(16, 2, func(c *Ctx, i int) {
+		byTID[c.TID]++
+	})
+	if len(byTID) != 4 {
+		t.Fatalf("work landed on %d threads, want 4", len(byTID))
+	}
+	for tid, n := range byTID {
+		if n != 4 {
+			t.Fatalf("thread %d ran %d items, want 4", tid, n)
+		}
+	}
+}
+
+func TestParForEmpty(t *testing.T) {
+	m := newTestMachine(t)
+	g := m.NewGroup(arch.Insecure, cores(0, 1), 0)
+	g.ParFor(0, 4, func(c *Ctx, i int) { t.Fatal("body ran") })
+}
+
+func TestSeqRunsOnThreadZero(t *testing.T) {
+	m := newTestMachine(t)
+	g := m.NewGroup(arch.Insecure, cores(5, 6), 0)
+	var ran arch.CoreID
+	g.Seq(func(c *Ctx) {
+		ran = c.Core
+		c.Compute(500)
+	})
+	if ran != 5 {
+		t.Fatalf("Seq ran on core %d", ran)
+	}
+	// Barrier after Seq synchronizes the idle thread too.
+	if g.Ctx(1).Cycles() < 500 {
+		t.Fatal("Seq did not synchronize the gang")
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	m := newTestMachine(t)
+	g := m.NewGroup(arch.Insecure, cores(0, 1), 0)
+	g.Ctx(0).Compute(300)
+	g.AdvanceTo(200)
+	if g.Ctx(0).Cycles() != 300 || g.Ctx(1).Cycles() != 200 {
+		t.Fatal("AdvanceTo must only move clocks forward")
+	}
+}
+
+func TestAtomicContention(t *testing.T) {
+	m := newTestMachine(t)
+	pinToSlice0(m)
+	buf := m.NewSpace("p", arch.Insecure).Alloc("ctr", 4096)
+
+	solo := m.NewGroup(arch.Insecure, cores(0), 0)
+	solo.Ctx(0).Atomic(buf.Addr(0))
+	soloCost := solo.Ctx(0).Cycles()
+
+	m2 := newTestMachine(t)
+	pinToSlice0(m2)
+	buf2 := m2.NewSpace("p", arch.Insecure).Alloc("ctr", 4096)
+	gang := m2.NewGroup(arch.Insecure, cores(0, 1, 2, 3), 0)
+	gang.Ctx(0).Atomic(buf2.Addr(0))
+	gangCost := gang.Ctx(0).Cycles()
+
+	if want := soloCost + 3*m.Cfg.AtomicContention; gangCost != want {
+		t.Fatalf("contended atomic = %d, want %d", gangCost, want)
+	}
+}
+
+// Determinism: identical programs on identical fresh machines produce
+// identical cycle counts — the whole evaluation depends on this.
+func TestDeterministicExecution(t *testing.T) {
+	run := func() int64 {
+		m, err := NewMachine(arch.TileGx72())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := m.NewSpace("p", arch.Insecure).Alloc("a", 256*1024)
+		g := m.NewGroup(arch.Insecure, cores(0, 1, 2, 3, 4, 5, 6, 7), 0)
+		g.ParFor(4096, 16, func(c *Ctx, i int) {
+			c.Read(buf.Addr((i * 67) % buf.Size))
+			c.Write(buf.Addr((i * 131) % buf.Size))
+			c.Compute(3)
+		})
+		return g.MaxCycles()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic execution: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("no work simulated")
+	}
+}
+
+func TestReadsWritesCounted(t *testing.T) {
+	m := newTestMachine(t)
+	buf := m.NewSpace("p", arch.Insecure).Alloc("a", 4096)
+	g := m.NewGroup(arch.Insecure, cores(0), 0)
+	c := g.Ctx(0)
+	c.Read(buf.Addr(0))
+	c.Read(buf.Addr(64))
+	c.Write(buf.Addr(128))
+	if c.Reads != 2 || c.Writes != 1 {
+		t.Fatalf("counted %d reads / %d writes", c.Reads, c.Writes)
+	}
+}

@@ -1,0 +1,327 @@
+// Package sim composes the hardware substrates — cores, private L1 caches
+// and TLBs, the distributed shared L2, the 2-D mesh, and the memory
+// controllers — into the 64-core machine the paper evaluates, and provides
+// the deterministic execution engine that runs instrumented workload
+// threads on it.
+//
+// The simulator is a timing/state model: every memory reference issued by
+// a workload walks TLB -> L1 -> (mesh) -> home L2 slice -> (mesh) ->
+// memory controller -> DRAM, accumulating cycles and mutating cache state,
+// so warm-up, thrash, purge, and partitioning effects emerge from real
+// access streams rather than constants.
+package sim
+
+import (
+	"fmt"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/cache"
+	"ironhide/internal/cpu"
+	"ironhide/internal/mem"
+	"ironhide/internal/noc"
+	"ironhide/internal/tlb"
+)
+
+// pageInfo records where a physical page lives: its DRAM region (hence
+// memory controller) and its home L2 slice.
+type pageInfo struct {
+	domain arch.Domain
+	region int
+	home   cache.SliceID
+}
+
+// Machine is the modeled multicore.
+type Machine struct {
+	Cfg  arch.Config
+	Mesh *noc.Mesh
+	Part *mem.Partition
+	Spec *cpu.SpecChecker
+
+	cores []*cpu.Core
+	l1    []*cache.Cache
+	tlbs  []*tlb.TLB
+	l2    *cache.SliceArray
+	mcs   []*mem.Controller
+
+	mcAttach []arch.Coord // mesh-edge attach point of each controller
+
+	pages      []pageInfo
+	pagesByDom [2][]uint64
+
+	policy   [2]cache.HomePolicy
+	slices   [2][]cache.SliceID
+	regionRR [2]int // round-robin cursor over the domain's regions
+
+	split           noc.Split
+	routingIsolated bool
+
+	routeViolations int64
+	blockedAccesses int64
+}
+
+// NewMachine builds a machine from the configuration with every resource
+// shared (insecure-owned regions, hash-for-home over all slices) — the
+// insecure baseline's view. Security models reconfigure it.
+func NewMachine(cfg arch.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Cores()
+	m := &Machine{
+		Cfg:  cfg,
+		Mesh: noc.New(cfg),
+		Part: mem.NewPartition(cfg),
+	}
+	m.Spec = cpu.NewSpecChecker(false, m.Part.OwnerOf)
+	m.cores = make([]*cpu.Core, n)
+	m.l1 = make([]*cache.Cache, n)
+	m.tlbs = make([]*tlb.TLB, n)
+	for i := 0; i < n; i++ {
+		m.cores[i] = cpu.NewCore(arch.CoreID(i), cfg)
+		m.l1[i] = cache.New(cfg.L1Size, cfg.L1Ways, cfg.LineSize)
+		m.tlbs[i] = tlb.New(cfg.TLBEntries, cfg.TLBWays)
+	}
+	m.l2 = cache.NewSliceArray(n, cfg)
+	m.mcs = make([]*mem.Controller, cfg.MemControllers)
+	m.mcAttach = make([]arch.Coord, cfg.MemControllers)
+	for i := range m.mcs {
+		m.mcs[i] = mem.NewController(mem.ControllerID(i), cfg)
+		m.mcAttach[i] = mcAttachPoint(i, cfg)
+	}
+	all := make([]cache.SliceID, n)
+	for i := range all {
+		all[i] = cache.SliceID(i)
+	}
+	m.policy[arch.Insecure] = cache.HashForHome{}
+	m.policy[arch.Secure] = cache.HashForHome{}
+	m.slices[arch.Insecure] = all
+	m.slices[arch.Secure] = all
+	m.split, _ = noc.NewSplit(0, cfg)
+	return m, nil
+}
+
+// mcAttachPoint places controllers on the outside edges, alternating top
+// and bottom so that the secure cluster (the row-major prefix, i.e. the
+// top rows) is adjacent to the low-numbered controllers the paper
+// dedicates to it (pos=0b0011) and the insecure cluster to the rest.
+func mcAttachPoint(i int, cfg arch.Config) arch.Coord {
+	perEdge := (cfg.MemControllers + 1) / 2
+	spacing := cfg.MeshWidth / (perEdge + 1)
+	if spacing == 0 {
+		spacing = 1
+	}
+	x := spacing * (i%perEdge + 1)
+	if x >= cfg.MeshWidth {
+		x = cfg.MeshWidth - 1
+	}
+	y := 0
+	if i >= perEdge {
+		y = cfg.MeshHeight - 1
+	}
+	return arch.Coord{X: x, Y: y}
+}
+
+// L1 returns core c's private L1 cache.
+func (m *Machine) L1(c arch.CoreID) *cache.Cache { return m.l1[c] }
+
+// TLB returns core c's private TLB.
+func (m *Machine) TLB(c arch.CoreID) *tlb.TLB { return m.tlbs[c] }
+
+// L2 returns the distributed shared L2.
+func (m *Machine) L2() *cache.SliceArray { return m.l2 }
+
+// Core returns core c's processor model.
+func (m *Machine) Core(c arch.CoreID) *cpu.Core { return m.cores[c] }
+
+// MC returns memory controller i.
+func (m *Machine) MC(i mem.ControllerID) *mem.Controller { return m.mcs[i] }
+
+// Split returns the current cluster split.
+func (m *Machine) Split() noc.Split { return m.split }
+
+// SetSplit installs a cluster split; isolate enables IRONHIDE's
+// intra-cluster routing containment for every subsequent access.
+func (m *Machine) SetSplit(s noc.Split, isolate bool) {
+	m.split = s
+	m.routingIsolated = isolate
+}
+
+// SetHomePolicy installs the homing policy a domain allocates pages with.
+func (m *Machine) SetHomePolicy(d arch.Domain, p cache.HomePolicy) { m.policy[d] = p }
+
+// HomePolicy returns the domain's homing policy.
+func (m *Machine) HomePolicy(d arch.Domain) cache.HomePolicy { return m.policy[d] }
+
+// SetSlices restricts a domain's pages to the given home slices.
+func (m *Machine) SetSlices(d arch.Domain, s []cache.SliceID) { m.slices[d] = s }
+
+// Slices returns the home slices available to a domain.
+func (m *Machine) Slices(d arch.Domain) []cache.SliceID { return m.slices[d] }
+
+// RouteViolations counts intra-cluster packets for which neither X-Y nor
+// Y-X routing stayed inside the cluster. Under contiguous row-major splits
+// this must remain zero; the property tests and the experiment harness
+// assert it.
+func (m *Machine) RouteViolations() int64 { return m.routeViolations }
+
+// BlockedAccesses counts accesses discarded by the speculative-access
+// hardware check.
+func (m *Machine) BlockedAccesses() int64 { return m.blockedAccesses }
+
+// PageOf exposes a page's placement (test and attack oracle).
+func (m *Machine) PageOf(addr arch.Addr) (domain arch.Domain, region int, home cache.SliceID, err error) {
+	pn := uint64(addr) / uint64(m.Cfg.PageSize)
+	if pn >= uint64(len(m.pages)) {
+		return 0, 0, 0, fmt.Errorf("sim: address %#x is unmapped", addr)
+	}
+	pi := m.pages[pn]
+	return pi.domain, pi.region, pi.home, nil
+}
+
+// Access performs one memory reference by domain d from the given core at
+// logical time now, returning the observed latency in cycles. The
+// reference updates TLB, L1, home L2 slice, network traffic, and memory
+// controller state along the way.
+func (m *Machine) Access(core arch.CoreID, addr arch.Addr, write bool, d arch.Domain, now int64) int64 {
+	pn := uint64(addr) / uint64(m.Cfg.PageSize)
+	if pn >= uint64(len(m.pages)) {
+		panic(fmt.Sprintf("sim: access to unmapped address %#x", addr))
+	}
+	pg := m.pages[pn]
+
+	// Hardware speculative-access check (MI6 / IRONHIDE): insecure
+	// accesses destined to secure DRAM regions are stalled and discarded
+	// with no architectural effect.
+	if m.Spec.Check(d, pg.region) == cpu.Blocked {
+		m.blockedAccesses++
+		return m.Cfg.L1HitLat
+	}
+
+	var lat int64
+	if !m.tlbs[core].Lookup(pn, d) {
+		lat += m.Cfg.PageWalkLat
+	}
+
+	lat += m.Cfg.L1HitLat
+	r1 := m.l1[core].Access(addr, write, d)
+	if r1.Hit {
+		return lat
+	}
+
+	// L1 miss: traverse the mesh to the home slice. Cross-domain traffic
+	// (the shared IPC buffer) is exempt from containment — it is the one
+	// packet class allowed to cross the cluster boundary.
+	src := m.Cfg.CoordOf(core)
+	dst := m.Cfg.CoordOf(arch.CoreID(pg.home))
+	lat += 2 * m.routeLat(src, dst, d, pg.domain) // request + response
+
+	lat += m.Cfg.L2HitLat
+	r2 := m.l2.Slice(pg.home).Access(addr, write, d)
+	if r2.WroteBack {
+		// Dirty L2 victim drains to memory off the critical path, but it
+		// occupies the controller queue (purges must later drain it).
+		m.mcs[m.Part.ControllerOf(pg.region)].Access(now+lat, true)
+	}
+	if r2.Hit {
+		return lat
+	}
+
+	// L2 miss: continue to the region's memory controller.
+	mcID := m.Part.ControllerOf(pg.region)
+	lat += 2 * m.edgeRouteLat(dst, mcID, pg.domain)
+	lat += m.mcs[mcID].Access(now+lat, false)
+	return lat
+}
+
+// routeLat computes one-way latency from src to dst and records traffic.
+// When routing isolation is active and both endpoints belong to the same
+// cluster, the bidirectional X-Y/Y-X chooser keeps the path contained;
+// cross-cluster packets (accessor domain != page domain) use plain X-Y.
+func (m *Machine) routeLat(src, dst arch.Coord, accessor, owner arch.Domain) int64 {
+	var path []arch.Coord
+	if m.routingIsolated && accessor == owner {
+		cl := m.split.ClusterOf(m.Cfg.CoreAt(src))
+		p, _, err := noc.Route(src, dst, m.split.Member(cl))
+		if err != nil {
+			m.routeViolations++
+			p = noc.Path(src, dst, noc.XY)
+		}
+		path = p
+	} else {
+		path = noc.Path(src, dst, noc.XY)
+	}
+	m.Mesh.Record(path)
+	return m.Mesh.Latency(path)
+}
+
+// edgeRouteLat computes one-way latency from an L2 slice to a memory
+// controller. The on-mesh segment runs to the cluster's own edge row (so
+// it never crosses the cluster boundary); the remainder travels on the
+// controller's dedicated edge channel.
+func (m *Machine) edgeRouteLat(from arch.Coord, mcID mem.ControllerID, owner arch.Domain) int64 {
+	attach := m.mcAttach[mcID]
+	proxy := attach
+	if m.routingIsolated {
+		proxy = m.edgeProxy(owner, attach)
+	}
+	var path []arch.Coord
+	if m.routingIsolated {
+		cl := noc.InsecureCluster
+		if owner == arch.Secure {
+			cl = noc.SecureCluster
+		}
+		p, _, err := noc.Route(from, proxy, m.split.Member(cl))
+		if err != nil {
+			m.routeViolations++
+			p = noc.Path(from, proxy, noc.XY)
+		}
+		path = p
+	} else {
+		path = noc.Path(from, proxy, noc.XY)
+	}
+	m.Mesh.Record(path)
+	edgeHops := int64(absInt(attach.X-proxy.X) + absInt(attach.Y-proxy.Y) + 1)
+	return m.Mesh.Latency(path) + edgeHops*m.Cfg.HopLat
+}
+
+// edgeProxy clamps a controller attach point into the owner cluster's own
+// edge row: the secure cluster (row-major prefix) exits at the top edge,
+// the insecure cluster at the bottom edge.
+func (m *Machine) edgeProxy(owner arch.Domain, attach arch.Coord) arch.Coord {
+	w := m.Cfg.MeshWidth
+	if owner == arch.Secure {
+		row0 := m.split.SecureCores
+		if row0 > w {
+			row0 = w
+		}
+		if row0 <= 0 {
+			row0 = 1
+		}
+		x := attach.X
+		if x > row0-1 {
+			x = row0 - 1
+		}
+		return arch.Coord{X: x, Y: 0}
+	}
+	lastRow := m.Cfg.MeshHeight - 1
+	firstIdx := lastRow * w
+	minX := 0
+	if m.split.SecureCores > firstIdx {
+		minX = m.split.SecureCores - firstIdx
+	}
+	if minX > w-1 {
+		minX = w - 1
+	}
+	x := attach.X
+	if x < minX {
+		x = minX
+	}
+	return arch.Coord{X: x, Y: lastRow}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

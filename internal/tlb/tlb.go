@@ -1,0 +1,138 @@
+// Package tlb models the per-core private translation look-aside buffers.
+//
+// TLBs are one of the time-shared private resources the MI6 baseline must
+// purge on every enclave entry and exit (on the Tile-Gx72 prototype this is
+// done with Tilera-specific user commands); IRONHIDE instead pins processes
+// to clusters so the TLBs are never shared across domains. The Tile-Gx72
+// prototype contains only private TLBs, so no shared-TLB model is needed.
+package tlb
+
+import (
+	"fmt"
+
+	"ironhide/internal/arch"
+)
+
+// Stats accumulates TLB access counters.
+type Stats struct {
+	Accesses int64
+	Misses   int64
+	Flushes  int64
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched TLB.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type entry struct {
+	vpn   uint64
+	valid bool
+	owner arch.Domain
+	used  uint64
+}
+
+// TLB is a set-associative translation buffer with LRU replacement.
+type TLB struct {
+	sets    int
+	ways    int
+	entries []entry
+	clock   uint64
+	stats   Stats
+}
+
+// New builds a TLB with the given total entries and associativity.
+func New(entries, ways int) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("tlb: invalid geometry entries=%d ways=%d", entries, ways))
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("tlb: %d sets must be a power of two", sets))
+	}
+	return &TLB{sets: sets, ways: ways, entries: make([]entry, entries)}
+}
+
+// Entries returns total capacity.
+func (t *TLB) Entries() int { return len(t.entries) }
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters, keeping contents.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// Lookup translates the virtual page number, inserting it on a miss, and
+// reports whether it hit. owner tags the entry's security domain.
+func (t *TLB) Lookup(vpn uint64, owner arch.Domain) bool {
+	t.clock++
+	t.stats.Accesses++
+	set := int(vpn % uint64(t.sets))
+	base := set * t.ways
+	free, victim := -1, base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < t.ways; w++ {
+		e := &t.entries[base+w]
+		if e.valid && e.vpn == vpn {
+			e.used = t.clock
+			return true
+		}
+		if !e.valid {
+			if free < 0 {
+				free = base + w
+			}
+			continue
+		}
+		if e.used < oldest {
+			oldest = e.used
+			victim = base + w
+		}
+	}
+	t.stats.Misses++
+	slot := victim
+	if free >= 0 {
+		slot = free
+	}
+	t.entries[slot] = entry{vpn: vpn, valid: true, owner: owner, used: t.clock}
+	return false
+}
+
+// Contains reports residency without disturbing state (test/attack oracle).
+func (t *TLB) Contains(vpn uint64) bool {
+	base := int(vpn%uint64(t.sets)) * t.ways
+	for w := 0; w < t.ways; w++ {
+		e := &t.entries[base+w]
+		if e.valid && e.vpn == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// OccupancyByOwner counts resident translations installed by the domain.
+func (t *TLB) OccupancyByOwner(owner arch.Domain) int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].owner == owner {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every entry (the enclave entry/exit purge) and returns
+// how many translations were dropped.
+func (t *TLB) Flush() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+			t.entries[i] = entry{}
+		}
+	}
+	t.stats.Flushes++
+	return n
+}

@@ -1,0 +1,140 @@
+// Package tmc is the Tilera TMC compatibility veneer: the prototype
+// section of the paper (IV-A) implements every isolation mechanism with
+// Tile-Gx72 tmc_* library calls, and this package exposes the same
+// vocabulary over the simulated machine, so the prototype's code reads
+// one-to-one against the model:
+//
+//	tmc_cpus_set_my_cpu(tid)                 -> CpusSetMyCPU
+//	tmc_alloc_set_home(&alloc, core)         -> AllocSetHome
+//	tmc_alloc_set_nodes_interleaved(&a, pos) -> AllocSetNodesInterleaved
+//	tmc_alloc_unmap / set_home / remap       -> AllocRehome
+//	tmc_mem_fence()                          -> MemFence
+//	tmc_mem_fence_node(controller)           -> MemFenceNode
+//
+// It exists for fidelity and for porting the paper's pseudo-code; the
+// rest of the repository uses the sim/core APIs directly.
+package tmc
+
+import (
+	"fmt"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/cache"
+	"ironhide/internal/mem"
+	"ironhide/internal/sim"
+)
+
+// Alloc mirrors the tmc_alloc_t attribute block: a pending allocation's
+// homing and controller-interleaving configuration.
+type Alloc struct {
+	m      *sim.Machine
+	domain arch.Domain
+	home   *cache.SliceID
+}
+
+// NewAlloc starts an allocation descriptor for the given domain, like
+// tmc_alloc_init.
+func NewAlloc(m *sim.Machine, d arch.Domain) *Alloc {
+	return &Alloc{m: m, domain: d}
+}
+
+// AllocSetHome pins subsequent pages to one L2 slice (the local homing
+// scheme, tmc_alloc_set_home(&alloc, core_id)). The domain must already
+// use local homing (MI6/IRONHIDE configurations).
+func (a *Alloc) AllocSetHome(core arch.CoreID) error {
+	if _, ok := a.m.HomePolicy(a.domain).(*cache.LocalHome); !ok {
+		return fmt.Errorf("tmc: set_home requires the local homing scheme, domain uses %s",
+			a.m.HomePolicy(a.domain).Name())
+	}
+	s := cache.SliceID(core)
+	a.home = &s
+	return nil
+}
+
+// AllocSetNodesInterleaved dedicates the memory controllers named by the
+// bit-mask to this allocation's domain, like
+// tmc_alloc_set_nodes_interleaved(&alloc, pos): pos=0b0011 gives MC0 and
+// MC1 to the secure cluster.
+func (a *Alloc) AllocSetNodesInterleaved(pos uint) error {
+	mask := pos
+	if a.domain == arch.Insecure {
+		// The insecure mask names its own controllers; the partition API
+		// takes the secure mask, which is the complement.
+		all := uint(1)<<uint(a.m.Part.Controllers()) - 1
+		mask = all &^ pos
+	}
+	return a.m.Part.AssignDomains(mask)
+}
+
+// Map allocates size bytes under the descriptor's configuration and
+// returns the buffer, like tmc_alloc_map.
+func (a *Alloc) Map(name string, size int) (sim.Buffer, error) {
+	if a.home != nil {
+		lh, ok := a.m.HomePolicy(a.domain).(*cache.LocalHome)
+		if !ok {
+			return sim.Buffer{}, fmt.Errorf("tmc: map with set_home requires local homing")
+		}
+		// Restrict the allocation to the chosen slice by pre-seeding the
+		// homes of the pages about to be allocated.
+		space := a.m.NewSpace("tmc", a.domain)
+		saved := a.m.Slices(a.domain)
+		a.m.SetSlices(a.domain, []cache.SliceID{*a.home})
+		buf := space.Alloc(name, size)
+		a.m.SetSlices(a.domain, saved)
+		_ = lh
+		return buf, nil
+	}
+	return a.m.NewSpace("tmc", a.domain).Alloc(name, size), nil
+}
+
+// AllocRehome moves every page of a buffer to a new home slice — the
+// tmc_alloc_unmap + tmc_alloc_set_home + tmc_alloc_remap sequence the
+// prototype uses during dynamic hardware isolation. It returns the pages
+// moved.
+func AllocRehome(m *sim.Machine, d arch.Domain, to cache.SliceID) (int, error) {
+	saved := m.Slices(d)
+	m.SetSlices(d, []cache.SliceID{to})
+	rr, err := m.RehomeDomainPages(d)
+	m.SetSlices(d, saved)
+	if err != nil {
+		return 0, err
+	}
+	return rr.PagesMoved, nil
+}
+
+// CPUSet mirrors tmc_cpus_*: the set of cores a process's threads may be
+// pinned to.
+type CPUSet struct {
+	cores []arch.CoreID
+}
+
+// NewCPUSet builds a set from explicit cores (tmc_cpus_from_string).
+func NewCPUSet(cores ...arch.CoreID) *CPUSet {
+	return &CPUSet{cores: append([]arch.CoreID(nil), cores...)}
+}
+
+// Count returns the set size, like tmc_cpus_count.
+func (s *CPUSet) Count() int { return len(s.cores) }
+
+// CpusSetMyCPU pins logical thread tid onto the tid-th core of the set,
+// like tmc_cpus_set_my_cpu, returning the core.
+func (s *CPUSet) CpusSetMyCPU(tid int) (arch.CoreID, error) {
+	if tid < 0 || tid >= len(s.cores) {
+		return 0, fmt.Errorf("tmc: thread %d outside a %d-core set", tid, len(s.cores))
+	}
+	return s.cores[tid], nil
+}
+
+// MemFence performs the full local flush the prototype's purge uses: the
+// dummy-buffer read of the L1 plus the fence that propagates dirty data,
+// returning the cycles it costs (tmc_mem_fence after reading the dummy
+// buffer).
+func MemFence(m *sim.Machine, core arch.CoreID) int64 {
+	return m.PurgeCorePrivate(core)
+}
+
+// MemFenceNode drains one memory controller's queues and write buffers,
+// like tmc_mem_fence_node(controller_id), returning the cycles.
+func MemFenceNode(m *sim.Machine, id mem.ControllerID) int64 {
+	return m.MC(id).Purge()
+}

@@ -1,0 +1,136 @@
+package tmc
+
+import (
+	"testing"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/cache"
+	"ironhide/internal/enclave"
+	"ironhide/internal/sim"
+)
+
+func machine(t *testing.T) *sim.Machine {
+	t.Helper()
+	m, err := sim.NewMachine(arch.TileGx72())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAllocSetHomeRequiresLocalHoming(t *testing.T) {
+	m := machine(t) // default hash-for-home
+	a := NewAlloc(m, arch.Insecure)
+	if err := a.AllocSetHome(3); err == nil {
+		t.Fatal("set_home accepted under hash-for-home")
+	}
+	m.SetHomePolicy(arch.Insecure, cache.NewLocalHome())
+	if err := a.AllocSetHome(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapWithHomePinsEveryPage(t *testing.T) {
+	m := machine(t)
+	m.SetHomePolicy(arch.Insecure, cache.NewLocalHome())
+	a := NewAlloc(m, arch.Insecure)
+	if err := a.AllocSetHome(7); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := a.Map("data", 8*m.Cfg.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < buf.Size; off += m.Cfg.PageSize {
+		_, _, home, err := m.PageOf(buf.Addr(off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if home != 7 {
+			t.Fatalf("page homed on slice %d, want 7", home)
+		}
+	}
+}
+
+func TestAllocSetNodesInterleavedMatchesPaper(t *testing.T) {
+	m := machine(t)
+	// The prototype: pos=0b0011 dedicates MC0,MC1 to the secure cluster.
+	sec := NewAlloc(m, arch.Secure)
+	if err := sec.AllocSetNodesInterleaved(0b0011); err != nil {
+		t.Fatal(err)
+	}
+	if m.Part.ControllerDomain(0) != arch.Secure || m.Part.ControllerDomain(3) != arch.Insecure {
+		t.Fatal("secure mask not applied")
+	}
+	// The insecure side names its own controllers: pos=0b1100.
+	ins := NewAlloc(m, arch.Insecure)
+	if err := ins.AllocSetNodesInterleaved(0b1100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Part.ControllerDomain(0) != arch.Secure || m.Part.ControllerDomain(2) != arch.Insecure {
+		t.Fatal("insecure mask produced a different partition")
+	}
+}
+
+func TestAllocRehome(t *testing.T) {
+	m := machine(t)
+	if err := (enclave.MulticoreMI6{}).Configure(m); err != nil {
+		t.Fatal(err)
+	}
+	buf := m.NewSpace("enclave", arch.Secure).Alloc("d", 8*m.Cfg.PageSize)
+	moved, err := AllocRehome(m, arch.Secure, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("nothing moved")
+	}
+	for off := 0; off < buf.Size; off += m.Cfg.PageSize {
+		_, _, home, _ := m.PageOf(buf.Addr(off))
+		if home != 5 {
+			t.Fatalf("page on slice %d after rehome, want 5", home)
+		}
+	}
+}
+
+func TestCPUSet(t *testing.T) {
+	s := NewCPUSet(4, 9, 13)
+	if s.Count() != 3 {
+		t.Fatal("count wrong")
+	}
+	c, err := s.CpusSetMyCPU(1)
+	if err != nil || c != 9 {
+		t.Fatalf("tid 1 pinned to %d (%v)", c, err)
+	}
+	if _, err := s.CpusSetMyCPU(3); err == nil {
+		t.Fatal("out-of-set pin accepted")
+	}
+}
+
+func TestFences(t *testing.T) {
+	m := machine(t)
+	buf := m.NewSpace("p", arch.Insecure).Alloc("a", 64*1024)
+	for off := 0; off < buf.Size; off += m.Cfg.LineSize {
+		m.Access(2, buf.Addr(off), true, arch.Insecure, 0)
+	}
+	if cost := MemFence(m, 2); cost <= 0 {
+		t.Fatal("fence cost nothing")
+	}
+	if m.L1(2).Occupancy() != 0 {
+		t.Fatal("fence did not flush the L1")
+	}
+	// Queue up controller write-backs, then fence the node.
+	var drained bool
+	for _, id := range m.AllMCs() {
+		if m.MC(id).QueueOccupancy() > 0 {
+			MemFenceNode(m, id)
+			if m.MC(id).QueueOccupancy() != 0 {
+				t.Fatal("node fence left queue entries")
+			}
+			drained = true
+		}
+	}
+	if !drained {
+		t.Log("no controller queues were occupied; eviction pattern changed")
+	}
+}

@@ -1,0 +1,176 @@
+// Package vision implements the insecure VISION process of the paper's
+// real-time perception applications: an image-processing pipeline that
+// turns RAW (Bayer-mosaic) frames into normalized planes for the secure
+// perception and planning algorithms, after "Reconfiguring the Imaging
+// Pipeline for Computer Vision" (Buckler et al.).
+//
+// The paper feeds it real camera frames; this reproduction synthesizes
+// deterministic RAW frames (smooth gradients plus structured noise), which
+// exercise the identical demosaic / denoise / gamma code paths.
+package vision
+
+import (
+	"math"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/sim"
+)
+
+// Frame is one processed output: a W x H luminance plane in [0, 1].
+type Frame struct {
+	W, H int
+	Pix  []float32
+}
+
+// Pipeline is the VISION insecure process: each round it synthesizes one
+// RAW frame tile, demosaics it, applies a 3x3 denoise stencil and a gamma
+// lookup, and publishes the result for the secure consumer.
+type Pipeline struct {
+	w, h  int
+	seed  int64
+	round int
+
+	raw      []uint16
+	lum      []float32
+	out      []float32
+	gammaLUT [256]float32
+
+	rawBuf sim.Buffer
+	lumBuf sim.Buffer
+	outBuf sim.Buffer
+	lutBuf sim.Buffer
+
+	published *Frame
+}
+
+// NewPipeline builds a VISION process producing w x h frames.
+func NewPipeline(w, h int, seed int64) *Pipeline {
+	p := &Pipeline{w: w, h: h, seed: seed}
+	p.raw = make([]uint16, w*h)
+	p.lum = make([]float32, w*h)
+	p.out = make([]float32, w*h)
+	for i := range p.gammaLUT {
+		p.gammaLUT[i] = float32(math.Pow(float64(i)/255, 1/2.2))
+	}
+	return p
+}
+
+// Name implements workload.Process.
+func (*Pipeline) Name() string { return "VISION" }
+
+// Domain implements workload.Process.
+func (*Pipeline) Domain() arch.Domain { return arch.Insecure }
+
+// Threads implements workload.Process: stencils parallelize over rows.
+func (*Pipeline) Threads() int { return 24 }
+
+// Init implements workload.Process.
+func (p *Pipeline) Init(m *sim.Machine, space *sim.AddressSpace) {
+	p.rawBuf = space.Alloc("raw", 2*p.w*p.h)
+	p.lumBuf = space.Alloc("lum", 4*p.w*p.h)
+	p.outBuf = space.Alloc("out", 4*p.w*p.h)
+	p.lutBuf = space.Alloc("gamma-lut", 4*256)
+}
+
+// Round implements workload.Process.
+func (p *Pipeline) Round(g *sim.Group, round int) {
+	p.round = round
+	p.capture(g)
+	p.demosaic(g)
+	p.denoiseAndGamma(g)
+	p.published = &Frame{W: p.w, H: p.h, Pix: append([]float32(nil), p.out...)}
+}
+
+// capture synthesizes the RAW Bayer tile for this round: a moving smooth
+// gradient with structured per-pixel noise (deterministic in round+seed).
+func (p *Pipeline) capture(g *sim.Group) {
+	phase := float64(p.round) * 0.17
+	g.ParFor(p.h, 2, func(c *sim.Ctx, y int) {
+		for x := 0; x < p.w; x++ {
+			i := y*p.w + x
+			base := 0.5 + 0.4*math.Sin(phase+float64(x)/9.0)*math.Cos(float64(y)/7.0)
+			h := uint32(i*2654435761) ^ uint32(p.round*97)
+			noise := float64(int32(h%201)-100) / 4000.0
+			v := base + noise
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			p.raw[i] = uint16(v * 1023)
+			if x%(64/2) == 0 { // one store per cache line of uint16s
+				c.Write(p.rawBuf.Index(i, 2))
+			}
+			c.Compute(2)
+		}
+	})
+}
+
+// demosaic converts the Bayer mosaic to luminance with a 2x2 bilinear
+// kernel (charging reads of the RAW neighborhood).
+func (p *Pipeline) demosaic(g *sim.Group) {
+	g.ParFor(p.h, 2, func(c *sim.Ctx, y int) {
+		for x := 0; x < p.w; x++ {
+			i := y*p.w + x
+			x1, y1 := x+1, y+1
+			if x1 >= p.w {
+				x1 = x
+			}
+			if y1 >= p.h {
+				y1 = y
+			}
+			sum := int(p.raw[i]) + int(p.raw[y*p.w+x1]) + int(p.raw[y1*p.w+x]) + int(p.raw[y1*p.w+x1])
+			p.lum[i] = float32(sum) / (4 * 1023)
+			if x%(64/2) == 0 {
+				c.Read(p.rawBuf.Index(i, 2))
+			}
+			if x%(64/4) == 0 {
+				c.Write(p.lumBuf.Index(i, 4))
+			}
+			c.Compute(4)
+		}
+	})
+}
+
+// denoiseAndGamma applies a 3x3 box blur followed by the gamma LUT.
+func (p *Pipeline) denoiseAndGamma(g *sim.Group) {
+	g.ParFor(p.h, 2, func(c *sim.Ctx, y int) {
+		for x := 0; x < p.w; x++ {
+			var sum float32
+			var n float32
+			for dy := -1; dy <= 1; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= p.h {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					xx := x + dx
+					if xx < 0 || xx >= p.w {
+						continue
+					}
+					sum += p.lum[yy*p.w+xx]
+					n++
+				}
+			}
+			v := sum / n
+			idx := int(v * 255)
+			if idx > 255 {
+				idx = 255
+			} else if idx < 0 {
+				idx = 0
+			}
+			i := y*p.w + x
+			p.out[i] = p.gammaLUT[idx]
+			if x%(64/4) == 0 {
+				c.Read(p.lumBuf.Index(i, 4))
+				c.Read(p.lutBuf.Index(idx, 4))
+				c.Write(p.outBuf.Index(i, 4))
+			}
+			c.Compute(10)
+		}
+	})
+}
+
+// Output returns the most recently published frame (consumed by the
+// secure perception/planning processes).
+func (p *Pipeline) Output() *Frame { return p.published }

@@ -1,0 +1,98 @@
+package vision
+
+import (
+	"testing"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/sim"
+)
+
+func setup(t *testing.T, w, h int) (*sim.Machine, *Pipeline, *sim.Group) {
+	t.Helper()
+	m, err := sim.NewMachine(arch.TileGx72())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(w, h, 5)
+	p.Init(m, m.NewSpace("VISION", arch.Insecure))
+	g := m.NewGroup(arch.Insecure, []arch.CoreID{0, 1, 2, 3}, 0)
+	return m, p, g
+}
+
+func TestRoundProducesNormalizedFrame(t *testing.T) {
+	_, p, g := setup(t, 32, 24)
+	p.Round(g, 0)
+	f := p.Output()
+	if f == nil || f.W != 32 || f.H != 24 || len(f.Pix) != 32*24 {
+		t.Fatalf("frame shape wrong: %+v", f)
+	}
+	for i, v := range f.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %d = %f outside [0,1]", i, v)
+		}
+	}
+	if g.MaxCycles() == 0 {
+		t.Fatal("pipeline charged nothing")
+	}
+}
+
+func TestFramesVaryAcrossRounds(t *testing.T) {
+	_, p, g := setup(t, 32, 24)
+	p.Round(g, 0)
+	a := append([]float32(nil), p.Output().Pix...)
+	p.Round(g, 1)
+	b := p.Output().Pix
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("consecutive frames identical; temporal variation lost")
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	run := func() []float32 {
+		_, p, g := setup(t, 16, 16)
+		p.Round(g, 3)
+		return p.Output().Pix
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic pipeline")
+		}
+	}
+}
+
+func TestDenoiseSmooths(t *testing.T) {
+	_, p, g := setup(t, 32, 32)
+	p.Round(g, 0)
+	f := p.Output()
+	// The 3x3 blur bounds the difference between horizontal neighbors:
+	// adjacent outputs share 6 of 9 stencil inputs.
+	for y := 1; y < f.H-1; y++ {
+		for x := 1; x < f.W-2; x++ {
+			d := f.Pix[y*f.W+x] - f.Pix[y*f.W+x+1]
+			if d < 0 {
+				d = -d
+			}
+			if d > 0.5 {
+				t.Fatalf("denoised neighbors differ by %f at (%d,%d)", d, x, y)
+			}
+		}
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	p := NewPipeline(8, 8, 1)
+	if p.Name() != "VISION" || p.Domain() != arch.Insecure || p.Threads() <= 0 {
+		t.Fatal("metadata wrong")
+	}
+	if p.Output() != nil {
+		t.Fatal("output before any round")
+	}
+}

@@ -1,0 +1,119 @@
+// Package workload defines the interactive-application framework the
+// evaluation runs: a Process is one side of an interactive application (a
+// secure enclave process or an ordinary/OS process) performing real
+// computation instrumented against the machine model; an App pairs one
+// secure and one insecure process and describes their interaction pattern
+// (paper Section IV-B).
+package workload
+
+import (
+	"fmt"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/sim"
+)
+
+// Class distinguishes the paper's two application families.
+type Class int
+
+const (
+	// User marks user-level interactive applications (~400 secure
+	// entry/exit events per second on the prototype).
+	User Class = iota
+	// OSLevel marks OS-interactive applications (~220K events/s), which
+	// need frequent support from the untrusted OS (fread, fcntl, close,
+	// writev).
+	OSLevel
+)
+
+// String names the class.
+func (c Class) String() string {
+	if c == OSLevel {
+		return "OS-level"
+	}
+	return "user-level"
+}
+
+// Process is one side of an interactive application. Implementations do
+// their real work on ordinary Go data and charge the timing model through
+// the sim.Ctx passed to Round.
+type Process interface {
+	// Name identifies the process ("SSSP", "GRAPH", ...).
+	Name() string
+	// Domain is the security domain the process executes in.
+	Domain() arch.Domain
+	// Threads is the process's preferred degree of parallelism; the driver
+	// caps it at the cores available to the process's domain.
+	Threads() int
+	// Init allocates the process's data structures from its address space
+	// and builds its real in-memory state.
+	Init(m *sim.Machine, space *sim.AddressSpace)
+	// Round executes one interaction round on the gang.
+	Round(g *sim.Group, round int)
+}
+
+// App is one interactive application: a secure process and an insecure
+// process exchanging data through the shared IPC buffer once per round.
+type App struct {
+	Name  string
+	Class Class
+
+	Insecure Process
+	Secure   Process
+
+	// Rounds is the number of measured interaction rounds; Warmup rounds
+	// run first to reach steady state (paper Section V). ProfileRounds is
+	// the short run length used per core-reallocation probe.
+	Rounds        int
+	Warmup        int
+	ProfileRounds int
+
+	// PayloadBytes flow insecure->secure each round; ReplyBytes flow back.
+	PayloadBytes int
+	ReplyBytes   int
+}
+
+// Validate reports a descriptive error for an ill-formed application.
+func (a *App) Validate() error {
+	switch {
+	case a.Name == "":
+		return fmt.Errorf("workload: app needs a name")
+	case a.Insecure == nil || a.Secure == nil:
+		return fmt.Errorf("workload: %s needs both processes", a.Name)
+	case a.Insecure.Domain() != arch.Insecure:
+		return fmt.Errorf("workload: %s insecure process is in domain %v", a.Name, a.Insecure.Domain())
+	case a.Secure.Domain() != arch.Secure:
+		return fmt.Errorf("workload: %s secure process is in domain %v", a.Name, a.Secure.Domain())
+	case a.Rounds <= 0:
+		return fmt.Errorf("workload: %s needs rounds > 0", a.Name)
+	case a.PayloadBytes <= 0 || a.ReplyBytes <= 0:
+		return fmt.Errorf("workload: %s needs positive payload sizes", a.Name)
+	case a.Insecure.Threads() <= 0 || a.Secure.Threads() <= 0:
+		return fmt.Errorf("workload: %s processes need threads", a.Name)
+	}
+	return nil
+}
+
+// Scaled returns a copy with round counts multiplied by f (minimum 1 each)
+// — the knob that trades evaluation fidelity for run time.
+func (a *App) Scaled(f float64) *App {
+	cp := *a
+	scale := func(n int) int {
+		s := int(float64(n) * f)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	cp.Rounds = scale(a.Rounds)
+	cp.Warmup = scale(a.Warmup)
+	if cp.ProfileRounds > cp.Rounds {
+		cp.ProfileRounds = cp.Rounds
+	}
+	return &cp
+}
+
+// String renders "<SECURE, INSECURE>" the way the paper labels apps.
+func (a *App) String() string {
+	return fmt.Sprintf("<%s, %s>", a.Secure.Name(), a.Insecure.Name())
+}

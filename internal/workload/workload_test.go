@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/sim"
+)
+
+type stubProc struct {
+	name    string
+	domain  arch.Domain
+	threads int
+}
+
+func (s stubProc) Name() string                         { return s.name }
+func (s stubProc) Domain() arch.Domain                  { return s.domain }
+func (s stubProc) Threads() int                         { return s.threads }
+func (s stubProc) Init(*sim.Machine, *sim.AddressSpace) {}
+func (s stubProc) Round(*sim.Group, int)                {}
+
+func valid() *App {
+	return &App{
+		Name:     "t",
+		Class:    User,
+		Insecure: stubProc{"I", arch.Insecure, 4},
+		Secure:   stubProc{"S", arch.Secure, 4},
+		Rounds:   10, Warmup: 2, ProfileRounds: 3,
+		PayloadBytes: 64, ReplyBytes: 64,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []func(*App){
+		func(a *App) { a.Name = "" },
+		func(a *App) { a.Insecure = nil },
+		func(a *App) { a.Secure = nil },
+		func(a *App) { a.Insecure = stubProc{"I", arch.Secure, 4} },
+		func(a *App) { a.Secure = stubProc{"S", arch.Insecure, 4} },
+		func(a *App) { a.Rounds = 0 },
+		func(a *App) { a.PayloadBytes = 0 },
+		func(a *App) { a.ReplyBytes = -1 },
+		func(a *App) { a.Secure = stubProc{"S", arch.Secure, 0} },
+	}
+	for i, mutate := range cases {
+		a := valid()
+		mutate(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	a := valid()
+	s := a.Scaled(0.5)
+	if s.Rounds != 5 || s.Warmup != 1 {
+		t.Fatalf("scaled = %d rounds / %d warmup", s.Rounds, s.Warmup)
+	}
+	if a.Rounds != 10 {
+		t.Fatal("Scaled mutated the original")
+	}
+	tiny := a.Scaled(0.001)
+	if tiny.Rounds < 1 || tiny.Warmup < 1 {
+		t.Fatal("scaling must keep at least one round")
+	}
+	if tiny.ProfileRounds > tiny.Rounds {
+		t.Fatal("profile rounds exceed measured rounds")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := valid().String(); got != "<S, I>" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if User.String() != "user-level" || OSLevel.String() != "OS-level" {
+		t.Fatal("class names changed")
+	}
+}
