@@ -14,6 +14,12 @@
 //	BenchmarkRoutingIsolation   X-Y vs bidirectional routing ablation
 //	BenchmarkPurge              strong-isolation purge cost
 //	BenchmarkReconfigBudget     dynamic-hardware-isolation event cost
+//	BenchmarkGridSequential     app×model grid on 1 runner worker
+//	BenchmarkGridParallel       the same grid on all host cores
+//
+// Every matrix benchmark goes through internal/runner — the same
+// orchestration path cmd/ironhide-sim uses — so the grid benchmarks
+// measure the real parallel speedup of a sweep.
 package ironhide
 
 import (
@@ -30,19 +36,21 @@ import (
 	"ironhide/internal/experiments"
 	"ironhide/internal/metrics"
 	"ironhide/internal/noc"
+	"ironhide/internal/runner"
 	"ironhide/internal/sim"
 )
 
 func benchCfg() arch.Config { return arch.TileGx72Scaled(12) }
 
 // benchEC keeps a -bench=. sweep tractable: two representative apps (one
-// per interactivity class) at a small scale. Use cmd/ironhide-sim for the
-// full nine-app evaluation.
+// per interactivity class) at a small scale, gridded across all host
+// cores. Use cmd/ironhide-sim for the full nine-app evaluation.
 func benchEC() experiments.Config {
 	return experiments.Config{
-		Scale:  0.04,
-		Apps:   []string{"<AES, QUERY>", "<MEMCACHED, OS>"},
-		Stride: 16,
+		Scale:    0.04,
+		Apps:     []string{"<AES, QUERY>", "<MEMCACHED, OS>"},
+		Stride:   16,
+		Parallel: runner.DefaultWorkers(),
 	}
 }
 
@@ -263,6 +271,28 @@ func BenchmarkReconfigBudget(b *testing.B) {
 		b.ReportMetric(float64(res.PagesMoved), "pages-moved")
 	}
 }
+
+// benchGrid measures one full app×model matrix at the given worker
+// count; comparing the two benchmarks shows the runner's wall-clock
+// speedup on this host.
+func benchGrid(b *testing.B, workers int) {
+	cfg := benchCfg()
+	ec := benchEC()
+	ec.Parallel = workers
+	for i := 0; i < b.N; i++ {
+		mx, err := experiments.RunMatrix(cfg, ec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mx.Order) != 2 {
+			b.Fatalf("matrix has %d apps", len(mx.Order))
+		}
+	}
+}
+
+func BenchmarkGridSequential(b *testing.B) { benchGrid(b, 1) }
+
+func BenchmarkGridParallel(b *testing.B) { benchGrid(b, runner.DefaultWorkers()) }
 
 // End-to-end guardrail: the paper's headline must hold at bench scale.
 func BenchmarkHeadlineClaim(b *testing.B) {

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	ironhide-sim [-scale f] [-stride n] [-apps "name,..."] <experiment>
+//	ironhide-sim [-scale f] [-stride n] [-apps "name,..."] [-parallel n]
+//	             [-format text|csv|json] [-out dir] <experiment>
 //
 // Experiments:
 //
@@ -15,29 +16,44 @@
 //	attack   Prime+Probe covert-channel validation (extension)
 //	sweep    interactivity ablation (input-count sweep)
 //	all      everything above
+//
+// Every experiment is a job grid executed on -parallel workers (default:
+// all host cores) with deterministic per-job seeds, so any worker count
+// emits identical reports. -format selects the emitter; -out writes one
+// file per experiment report (<name>.txt/.csv/.json) instead of stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
+	"ironhide/internal/apps"
 	"ironhide/internal/arch"
-	"ironhide/internal/attack"
-	"ironhide/internal/driver"
 	"ironhide/internal/experiments"
+	"ironhide/internal/metrics"
 )
+
+// experimentNames lists the experiments in presentation order; "all" runs
+// every one of them off a single application×model matrix.
+var experimentNames = []string{"table1", "fig1a", "fig6", "fig7", "fig8", "attack", "sweep"}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "round-count scale factor (smaller = faster, noisier)")
 	dilation := flag.Int64("dilation", 12, "protocol-constant dilation divisor (1 = full-fidelity per-event costs)")
 	stride := flag.Int("stride", 2, "stride of fig8's exhaustive Optimal search")
-	appsFlag := flag.String("apps", "", "comma-separated application names (default: all nine)")
+	appsFlag := flag.String("apps", "", "comma-separated application aliases, e.g. \"aes-query,memcached-os\" (default: all nine)")
 	trials := flag.Int("trials", 96, "covert-channel trials for the attack experiment")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the job grids (1 = sequential; results are identical at any count)")
+	format := flag.String("format", "text", "report format: text, csv or json")
+	outDir := flag.String("out", "", "write one <experiment>.<ext> file per report into this directory instead of stdout")
+	seed := flag.Int64("seed", 42, "base seed for deterministic runs and the covert-channel secret")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ironhide-sim [flags] {table1|fig1a|fig6|fig7|fig8|attack|sweep|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: ironhide-sim [flags] {%s|all}\n", strings.Join(experimentNames, "|"))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,83 +62,141 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := arch.TileGx72Scaled(*dilation)
-	ec := experiments.Config{Scale: *scale, Stride: *stride}
-	if *appsFlag != "" {
-		ec.Apps = strings.Split(*appsFlag, ",")
+	emit, ext, err := metrics.EmitterFor(*format)
+	if err != nil {
+		fatal(err)
 	}
 
-	run := func(name string) error {
-		start := time.Now()
-		defer func() { fmt.Printf("\n[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond)) }()
-		switch name {
-		case "table1":
-			experiments.Table1(cfg, os.Stdout)
-			return nil
-		case "fig1a", "fig6", "fig7":
-			mx, err := experiments.RunMatrix(cfg, ec)
-			if err != nil {
-				return err
-			}
-			switch name {
-			case "fig1a":
-				mx.Fig1a(os.Stdout)
-			case "fig6":
-				mx.Fig6(os.Stdout)
-			case "fig7":
-				mx.Fig7(os.Stdout)
-			}
-			return nil
-		case "fig8":
-			return experiments.Fig8(cfg, ec, os.Stdout)
-		case "attack":
-			for _, m := range driver.Models() {
-				res, err := attack.CovertChannel(m, *trials, 42)
-				if err != nil {
-					return err
+	cfg := arch.TileGx72Scaled(*dilation)
+	ec := experiments.Config{Scale: *scale, Stride: *stride, Parallel: *parallel, BaseSeed: *seed}
+	if *appsFlag != "" {
+		for _, name := range strings.Split(*appsFlag, ",") {
+			entry, ok := apps.ByName(strings.TrimSpace(name))
+			if !ok {
+				var known []string
+				for _, e := range apps.Catalog() {
+					known = append(known, e.Alias)
 				}
-				verdict := "channel DEAD (strong isolation holds)"
-				if res.Leaks() {
-					verdict = "channel LEAKS"
-				}
-				fmt.Printf("%-40s %s\n", res.String(), verdict)
+				fatal(fmt.Errorf("unknown application %q (known: %s)", name, strings.Join(known, ", ")))
 			}
-			return nil
-		case "sweep":
-			_, err := experiments.Sweep(cfg, ec, []int{30, 60, 120, 240}, os.Stdout)
-			return err
-		case "all":
-			mx, err := experiments.RunMatrix(cfg, ec)
-			if err != nil {
-				return err
-			}
-			experiments.Table1(cfg, os.Stdout)
-			fmt.Println()
-			mx.Fig1a(os.Stdout)
-			fmt.Println()
-			mx.Fig6(os.Stdout)
-			fmt.Println()
-			mx.Fig7(os.Stdout)
-			fmt.Println()
-			if err := experiments.Fig8(cfg, ec, os.Stdout); err != nil {
-				return err
-			}
-			fmt.Println()
-			for _, m := range driver.Models() {
-				res, err := attack.CovertChannel(m, *trials, 42)
-				if err != nil {
-					return err
-				}
-				fmt.Println(res.String())
-			}
-			return nil
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
+			ec.Apps = append(ec.Apps, entry.Name)
 		}
 	}
 
-	if err := run(flag.Arg(0)); err != nil {
-		fmt.Fprintln(os.Stderr, "ironhide-sim:", err)
-		os.Exit(1)
+	names := []string{flag.Arg(0)}
+	if flag.Arg(0) == "all" {
+		names = experimentNames
 	}
+
+	reports, err := build(names, cfg, ec, *trials)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(reports, emit, ext, *outDir); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ironhide-sim:", err)
+	os.Exit(1)
+}
+
+// build measures the named experiments and returns their reports. The
+// figure experiments that share the application×model matrix (fig1a, fig6,
+// fig7) run it once.
+func build(names []string, cfg arch.Config, ec experiments.Config, trials int) ([]metrics.Tabular, error) {
+	var mx *experiments.Matrix
+	matrix := func() (*experiments.Matrix, error) {
+		if mx != nil {
+			return mx, nil
+		}
+		var err error
+		mx, err = experiments.RunMatrix(cfg, ec)
+		return mx, err
+	}
+
+	var reports []metrics.Tabular
+	for _, name := range names {
+		start := time.Now()
+		var rep metrics.Tabular
+		var err error
+		switch name {
+		case "table1":
+			rep = experiments.BuildTable1(cfg)
+		case "fig1a":
+			if m, merr := matrix(); merr != nil {
+				err = merr
+			} else {
+				rep = m.BuildFig1a()
+			}
+		case "fig6":
+			if m, merr := matrix(); merr != nil {
+				err = merr
+			} else {
+				rep = m.BuildFig6()
+			}
+		case "fig7":
+			if m, merr := matrix(); merr != nil {
+				err = merr
+			} else {
+				rep = m.BuildFig7()
+			}
+		case "fig8":
+			rep, err = experiments.BuildFig8(cfg, ec)
+		case "attack":
+			rep, err = experiments.BuildAttack(ec, trials)
+		case "sweep":
+			rep, err = experiments.BuildSweep(cfg, ec, []int{30, 60, 120, 240})
+		default:
+			err = fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		reports = append(reports, rep)
+		// Timing goes to stderr so stdout stays deterministic across runs
+		// and worker counts.
+		fmt.Fprintf(os.Stderr, "[%s completed in %s]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return reports, nil
+}
+
+// write emits the reports: one file per report under dir when set,
+// otherwise sequentially to stdout separated by blank lines.
+func write(reports []metrics.Tabular, emit metrics.Emitter, ext, dir string) error {
+	if dir == "" {
+		for i, rep := range reports {
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := emit(os.Stdout, rep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, rep := range reports {
+		path := filepath.Join(dir, rep.ReportName()+ext)
+		if err := emitFile(path, rep, emit); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}
+
+func emitFile(path string, rep metrics.Tabular, emit metrics.Emitter) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

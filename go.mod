@@ -1,0 +1,3 @@
+module ironhide
+
+go 1.24

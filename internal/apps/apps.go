@@ -133,9 +133,12 @@ func LighttpdOS() *workload.App {
 		httpserver.NewServer(ch, site))
 }
 
-// Entry names one application and its factory.
+// Entry names one application and its factory. Alias is the file-safe
+// short name (no commas or spaces) the CLI's comma-separated -apps flag
+// needs, since the paper labels themselves contain commas.
 type Entry struct {
 	Name    string
+	Alias   string
 	Class   workload.Class
 	Factory driver.AppFactory
 }
@@ -143,22 +146,22 @@ type Entry struct {
 // Catalog returns all nine applications in the paper's order.
 func Catalog() []Entry {
 	return []Entry{
-		{"<SSSP, GRAPH>", workload.User, SSSPGraph},
-		{"<PR, GRAPH>", workload.User, PRGraph},
-		{"<TC, GRAPH>", workload.User, TCGraph},
-		{"<ABC, VISION>", workload.User, ABCVision},
-		{"<ALEXNET, VISION>", workload.User, AlexNetVision},
-		{"<SQZ-NET, VISION>", workload.User, SqueezeNetVision},
-		{"<AES, QUERY>", workload.User, AESQuery},
-		{"<MEMCACHED, OS>", workload.OSLevel, MemcachedOS},
-		{"<LIGHTTPD, OS>", workload.OSLevel, LighttpdOS},
+		{"<SSSP, GRAPH>", "sssp-graph", workload.User, SSSPGraph},
+		{"<PR, GRAPH>", "pr-graph", workload.User, PRGraph},
+		{"<TC, GRAPH>", "tc-graph", workload.User, TCGraph},
+		{"<ABC, VISION>", "abc-vision", workload.User, ABCVision},
+		{"<ALEXNET, VISION>", "alexnet-vision", workload.User, AlexNetVision},
+		{"<SQZ-NET, VISION>", "sqznet-vision", workload.User, SqueezeNetVision},
+		{"<AES, QUERY>", "aes-query", workload.User, AESQuery},
+		{"<MEMCACHED, OS>", "memcached-os", workload.OSLevel, MemcachedOS},
+		{"<LIGHTTPD, OS>", "lighttpd-os", workload.OSLevel, LighttpdOS},
 	}
 }
 
-// ByName returns the catalog entry with the given name.
+// ByName returns the catalog entry with the given paper label or alias.
 func ByName(name string) (Entry, bool) {
 	for _, e := range Catalog() {
-		if e.Name == name {
+		if e.Name == name || e.Alias == name {
 			return e, true
 		}
 	}

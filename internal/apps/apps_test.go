@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"strings"
 	"testing"
 
 	"ironhide/internal/arch"
@@ -52,6 +53,25 @@ func TestFactoriesAreFresh(t *testing.T) {
 func TestByNameUnknown(t *testing.T) {
 	if _, ok := ByName("<NOPE, NOPE>"); ok {
 		t.Fatal("unknown app resolved")
+	}
+}
+
+// Every entry resolves by its paper label and by its file-safe alias
+// (the label itself contains a comma, so comma-separated flags need the
+// alias form).
+func TestByNameAliases(t *testing.T) {
+	for _, e := range Catalog() {
+		if e.Alias == "" || strings.ContainsAny(e.Alias, ", <>") {
+			t.Fatalf("%s: alias %q is not file-safe", e.Name, e.Alias)
+		}
+		byLabel, ok := ByName(e.Name)
+		if !ok || byLabel.Name != e.Name {
+			t.Fatalf("%s: label lookup failed", e.Name)
+		}
+		byAlias, ok := ByName(e.Alias)
+		if !ok || byAlias.Name != e.Name {
+			t.Fatalf("%s: alias %q lookup failed", e.Name, e.Alias)
+		}
 	}
 }
 

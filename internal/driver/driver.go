@@ -15,6 +15,8 @@ package driver
 import (
 	"crypto/ed25519"
 	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 
 	"ironhide/internal/arch"
@@ -54,6 +56,11 @@ type Options struct {
 	// fixed binding (the experiment harness uses it to model Figure 8's
 	// overhead-free Optimal with an externally computed binding).
 	WaiveReconfig bool
+	// Seed makes the run fully reproducible: a non-zero seed derives the
+	// attestation keypair deterministically instead of reading entropy.
+	// The parallel runner assigns per-job seeds from grid position so a
+	// sweep yields identical results at any worker count.
+	Seed int64
 }
 
 func (o Options) scale() float64 {
@@ -120,11 +127,25 @@ func Run(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options)
 }
 
 // attest admits the secure process with the secure kernel before it may
-// run under a strong-isolation model.
-func attest(app *workload.App) (*kernel.Kernel, error) {
-	pub, priv, err := ed25519.GenerateKey(rand.Reader)
-	if err != nil {
-		return nil, err
+// run under a strong-isolation model. A non-zero seed derives the keypair
+// deterministically (per-app, so equal seeds on different apps still get
+// distinct keys); zero falls back to the system entropy source.
+func attest(app *workload.App, seed int64) (*kernel.Kernel, error) {
+	var pub ed25519.PublicKey
+	var priv ed25519.PrivateKey
+	if seed != 0 {
+		var material [sha256.Size]byte
+		binary.LittleEndian.PutUint64(material[:8], uint64(seed))
+		copy(material[8:], app.Name)
+		digest := sha256.Sum256(material[:])
+		priv = ed25519.NewKeyFromSeed(digest[:])
+		pub = priv.Public().(ed25519.PublicKey)
+	} else {
+		var err error
+		pub, priv, err = ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
 	}
 	k := kernel.New(pub)
 	image := []byte(app.Secure.Name() + "/" + app.Name)
@@ -198,7 +219,7 @@ func resetStats(m *sim.Machine) {
 func runTemporal(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options) (*Result, error) {
 	app := factory().Scaled(opts.scale())
 	if model.StrongIsolation() {
-		if _, err := attest(app); err != nil {
+		if _, err := attest(app, opts.Seed); err != nil {
 			return nil, err
 		}
 	}
@@ -395,7 +416,7 @@ func runSpatial(cfg arch.Config, model enclave.Model, factory AppFactory, opts O
 	var reconfigCycles int64
 	switch mdl := model.(type) {
 	case *core.IronHide:
-		k, err := attest(app)
+		k, err := attest(app, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -465,14 +486,26 @@ func realRounds(app *workload.App) int {
 	return 13_300
 }
 
+// ModelFactories returns per-model constructors in the paper's
+// presentation order. Models carry per-run mutable state (IRONHIDE in
+// particular), so the parallel runner builds a fresh instance per job.
+func ModelFactories() []func() enclave.Model {
+	return []func() enclave.Model{
+		func() enclave.Model { return enclave.Insecure{} },
+		func() enclave.Model { return enclave.SGXLike{} },
+		func() enclave.Model { return enclave.MulticoreMI6{} },
+		func() enclave.Model { return core.New(32) },
+	}
+}
+
 // Models returns the four models in the paper's presentation order.
 func Models() []enclave.Model {
-	return []enclave.Model{
-		enclave.Insecure{},
-		enclave.SGXLike{},
-		enclave.MulticoreMI6{},
-		core.New(32),
+	factories := ModelFactories()
+	models := make([]enclave.Model, len(factories))
+	for i, f := range factories {
+		models[i] = f()
 	}
+	return models
 }
 
 // String renders a one-line summary of the result.

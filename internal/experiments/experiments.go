@@ -5,6 +5,13 @@
 // reconfiguration study of Figure 8, the reconstructed system
 // configuration of Table I, plus the security-validation and interactivity
 // ablations this reproduction adds.
+//
+// Each experiment is split into a measurement half — a declarative job
+// grid executed by internal/runner, aggregated into a typed report struct
+// — and a presentation half (reports.go) rendered by the pluggable
+// text/CSV/JSON emitters in internal/metrics. Grids run on Config.Parallel
+// workers with deterministic per-job seeds, so any worker count produces
+// byte-identical reports.
 package experiments
 
 import (
@@ -14,11 +21,13 @@ import (
 
 	"ironhide/internal/apps"
 	"ironhide/internal/arch"
+	"ironhide/internal/attack"
 	"ironhide/internal/core"
 	"ironhide/internal/driver"
 	"ironhide/internal/enclave"
 	"ironhide/internal/heuristic"
 	"ironhide/internal/metrics"
+	"ironhide/internal/runner"
 	"ironhide/internal/workload"
 )
 
@@ -31,6 +40,11 @@ type Config struct {
 	Stride int
 	// Apps restricts the run to the named applications (nil = all nine).
 	Apps []string
+	// Parallel is the worker count for the job grids (<= 1 sequential).
+	// Results are identical at any worker count.
+	Parallel int
+	// BaseSeed anchors the deterministic per-job seeds (default 1).
+	BaseSeed int64
 }
 
 func (c Config) scale() float64 {
@@ -45,6 +59,24 @@ func (c Config) stride() int {
 		return 2
 	}
 	return c.Stride
+}
+
+func (c Config) workers() int {
+	if c.Parallel <= 1 {
+		return 1
+	}
+	return c.Parallel
+}
+
+func (c Config) seed() int64 {
+	if c.BaseSeed == 0 {
+		return 1
+	}
+	return c.BaseSeed
+}
+
+func (c Config) runner(cfg arch.Config) *runner.Runner {
+	return &runner.Runner{Cfg: cfg, Workers: c.workers(), BaseSeed: c.seed()}
 }
 
 func (c Config) catalog() []apps.Entry {
@@ -76,22 +108,43 @@ type Matrix struct {
 	Order  []string                    // app presentation order
 }
 
-// RunMatrix executes all selected applications under the four models.
+// RunMatrix executes all selected applications under the four models as
+// one job grid on Config.Parallel workers. Cell assembly is ordered by
+// grid index, so the Matrix is independent of scheduling.
 func RunMatrix(cfg arch.Config, ec Config) (*Matrix, error) {
 	mx := &Matrix{Cfg: cfg, Cells: map[string]map[string]*Cell{}}
-	for _, m := range driver.Models() {
+	models := driver.Models()
+	for _, m := range models {
 		mx.Models = append(mx.Models, m.Name())
 	}
+
+	type slot struct {
+		entry apps.Entry
+		model string
+	}
+	var jobs []runner.Job
+	var slots []slot
+	factories := driver.ModelFactories()
 	for _, entry := range ec.catalog() {
 		mx.Order = append(mx.Order, entry.Name)
 		mx.Cells[entry.Name] = map[string]*Cell{}
-		for _, model := range driver.Models() {
-			res, err := driver.Run(cfg, model, entry.Factory, driver.Options{Scale: ec.scale()})
-			if err != nil {
-				return nil, fmt.Errorf("%s under %s: %w", entry.Name, model.Name(), err)
-			}
-			mx.Cells[entry.Name][model.Name()] = &Cell{Entry: entry, Result: res}
+		for mi, factory := range factories {
+			jobs = append(jobs, runner.Job{
+				Key:   entry.Name + "/" + models[mi].Name(),
+				App:   entry.Factory,
+				Model: factory,
+				Opts:  driver.Options{Scale: ec.scale()},
+			})
+			slots = append(slots, slot{entry: entry, model: models[mi].Name()})
 		}
+	}
+
+	results, err := ec.runner(cfg).Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		mx.Cells[slots[i].entry.Name][slots[i].model] = &Cell{Entry: slots[i].entry, Result: r.Res}
 	}
 	return mx, nil
 }
@@ -118,44 +171,51 @@ func (mx *Matrix) completionsOf(model string, classes ...workload.Class) []float
 	return out
 }
 
-// Fig1a prints the normalized geometric-mean completion times of the
-// secure-processor architectures over the insecure baseline (paper
+// BuildFig1a aggregates the normalized geometric-mean completion times of
+// the secure-processor architectures over the insecure baseline (paper
 // Figure 1a: SGX ~1.33x, MI6 ~2.25x, IRONHIDE between them).
-func (mx *Matrix) Fig1a(w io.Writer) {
-	fmt.Fprintln(w, "Figure 1(a): normalized geomean completion time (insecure baseline = 1.0)")
+func (mx *Matrix) BuildFig1a() *Fig1aReport {
+	rep := &Fig1aReport{
+		Name:  "fig1a",
+		Title: "Figure 1(a): normalized geomean completion time (insecure baseline = 1.0)",
+	}
 	base := mx.completionsOf("Insecure")
-	tb := metrics.NewTable("architecture", "normalized completion", "paper reports")
 	paper := map[string]string{"Insecure": "1.00", "SGX": "~1.33", "MI6": "~2.25", "IRONHIDE": "~1.1 (20% better than SGX)"}
 	for _, model := range mx.Models {
 		norm := metrics.Normalize(mx.completionsOf(model), base)
-		tb.Add(model, metrics.Fx(metrics.Geomean(norm)), paper[model])
+		rep.Rows = append(rep.Rows, Fig1aRow{Model: model, Normalized: metrics.Geomean(norm), Paper: paper[model]})
 	}
-	fmt.Fprint(w, tb.String())
+	return rep
 }
 
-// Fig6 prints per-application completion times with the paper's
+// Fig1a renders BuildFig1a as text.
+func (mx *Matrix) Fig1a(w io.Writer) { _ = metrics.EmitText(w, mx.BuildFig1a()) }
+
+// BuildFig6 aggregates per-application completion times with the paper's
 // breakdown — process execution versus enclave entry/exit (SGX), purging
 // (MI6) and one-time reconfiguration (IRONHIDE) — plus the secure-cluster
-// core counts (the markers on Figure 6) and the user/OS/overall geomeans.
-func (mx *Matrix) Fig6(w io.Writer) {
-	fmt.Fprintln(w, "Figure 6: completion times (cycles, scaled run) and overhead breakdown")
-	tb := metrics.NewTable("application", "model", "completion", "compute", "entry/exit", "purge", "reconfig", "secure cores")
+// core counts (the markers on Figure 6), the user/OS/overall geomean
+// speedups, and the MI6 purge analysis.
+func (mx *Matrix) BuildFig6() *Fig6Report {
+	rep := &Fig6Report{
+		Name:  "fig6",
+		Title: "Figure 6: completion times (cycles, scaled run) and overhead breakdown",
+	}
 	for _, app := range mx.Order {
 		for _, model := range mx.Models {
 			r := mx.Cells[app][model].Result
-			tb.Add(app, model,
-				fmt.Sprintf("%d", r.CompletionCycles),
-				fmt.Sprintf("%d", r.ComputeCycles()),
-				fmt.Sprintf("%d", r.EntryExitCycles),
-				fmt.Sprintf("%d", r.PurgeCycles),
-				fmt.Sprintf("%d", r.ReconfigCycles),
-				fmt.Sprintf("%d", r.SecureCores))
+			rep.Rows = append(rep.Rows, Fig6Row{
+				App: app, Model: model,
+				CompletionCycles: r.CompletionCycles,
+				ComputeCycles:    r.ComputeCycles(),
+				EntryExitCycles:  r.EntryExitCycles,
+				PurgeCycles:      r.PurgeCycles,
+				ReconfigCycles:   r.ReconfigCycles,
+				SecureCores:      r.SecureCores,
+			})
 		}
 	}
-	fmt.Fprint(w, tb.String())
 
-	fmt.Fprintln(w, "\nGeometric-mean speedups (completion-time ratios):")
-	sm := metrics.NewTable("scope", "MI6/IRONHIDE", "SGX/IRONHIDE", "MI6/SGX", "paper: MI6/IRONHIDE")
 	scopes := []struct {
 		name    string
 		classes []workload.Class
@@ -169,13 +229,14 @@ func (mx *Matrix) Fig6(w io.Writer) {
 		mi6 := mx.completionsOf("MI6", s.classes...)
 		sgx := mx.completionsOf("SGX", s.classes...)
 		ih := mx.completionsOf("IRONHIDE", s.classes...)
-		sm.Add(s.name,
-			metrics.Fx(metrics.Geomean(metrics.Normalize(mi6, ih))),
-			metrics.Fx(metrics.Geomean(metrics.Normalize(sgx, ih))),
-			metrics.Fx(metrics.Geomean(metrics.Normalize(mi6, sgx))),
-			s.paper)
+		rep.Speedups = append(rep.Speedups, SpeedupRow{
+			Scope:         s.name,
+			MI6VsIronhide: metrics.Geomean(metrics.Normalize(mi6, ih)),
+			SGXVsIronhide: metrics.Geomean(metrics.Normalize(sgx, ih)),
+			MI6VsSGX:      metrics.Geomean(metrics.Normalize(mi6, sgx)),
+			Paper:         s.paper,
+		})
 	}
-	fmt.Fprint(w, sm.String())
 
 	// Purge share of MI6 completion (the paper reports ~47% on average,
 	// ~0.19 ms per interaction event) and the purge-component improvement.
@@ -193,41 +254,72 @@ func (mx *Matrix) Fig6(w io.Writer) {
 	if dil < 1 {
 		dil = 1
 	}
-	fmt.Fprintf(w, "\nMI6 purge: %s of completion (paper ~47%%), %s per interaction event at full fidelity (paper ~0.19ms, dilation %dx)\n",
-		metrics.Pct(mi6Purge/mi6Total), metrics.Ms(int64(mi6Purge/float64(events))*dil), dil)
-	if ihPurgeLike > 0 {
-		fmt.Fprintf(w, "purge-component improvement MI6 vs IRONHIDE: %s (paper ~706x)\n",
-			metrics.Fx(mi6Purge/ihPurgeLike))
+	rep.ProtocolDilation = dil
+	if mi6Total > 0 {
+		rep.MI6PurgeShare = mi6Purge / mi6Total
 	}
+	if events > 0 {
+		rep.MI6PurgePerEventCyc = int64(mi6Purge/float64(events)) * dil
+	}
+	if ihPurgeLike > 0 {
+		rep.PurgeImprovementMI6 = mi6Purge / ihPurgeLike
+	}
+	return rep
 }
 
-// Fig7 prints the private L1 and shared L2 miss rates of MI6 and
+// Fig6 renders BuildFig6 as text.
+func (mx *Matrix) Fig6(w io.Writer) { _ = metrics.EmitText(w, mx.BuildFig6()) }
+
+// BuildFig7 aggregates the private L1 and shared L2 miss rates of MI6 and
 // IRONHIDE per application (paper Figure 7: L1 improves up to 5.9x, L2 up
 // to 2x, with <TC, GRAPH> and <LIGHTTPD, OS> as the L2 exceptions).
-func (mx *Matrix) Fig7(w io.Writer) {
-	fmt.Fprintln(w, "Figure 7: private L1 (a) and shared L2 (b) miss rates, MI6 vs IRONHIDE")
-	tb := metrics.NewTable("application", "L1 MI6", "L1 IRONHIDE", "L1 gain", "L2 MI6", "L2 IRONHIDE", "L2 gain")
+// Degenerate (non-positive) samples are skipped from the geomeans and
+// counted in Skipped instead of aborting the sweep.
+func (mx *Matrix) BuildFig7() *Fig7Report {
+	rep := &Fig7Report{
+		Name:  "fig7",
+		Title: "Figure 7: private L1 (a) and shared L2 (b) miss rates, MI6 vs IRONHIDE",
+	}
+	// The geomean gain must compare the same app set on both sides, so a
+	// degenerate (non-positive) rate drops its whole app pair from that
+	// cache level's geomeans, counted in Skipped.
 	var l1m, l1i, l2m, l2i []float64
 	for _, app := range mx.Order {
 		mi6 := mx.Cells[app]["MI6"].Result
 		ih := mx.Cells[app]["IRONHIDE"].Result
-		tb.Add(app,
-			metrics.Pct(mi6.L1MissRate()), metrics.Pct(ih.L1MissRate()),
-			metrics.Fx(safeRatio(mi6.L1MissRate(), ih.L1MissRate())),
-			metrics.Pct(mi6.L2MissRate()), metrics.Pct(ih.L2MissRate()),
-			metrics.Fx(safeRatio(mi6.L2MissRate(), ih.L2MissRate())))
-		l1m = append(l1m, nonzero(mi6.L1MissRate()))
-		l1i = append(l1i, nonzero(ih.L1MissRate()))
-		l2m = append(l2m, nonzero(mi6.L2MissRate()))
-		l2i = append(l2i, nonzero(ih.L2MissRate()))
+		rep.Rows = append(rep.Rows, Fig7Row{
+			App:        app,
+			L1MI6:      mi6.L1MissRate(),
+			L1Ironhide: ih.L1MissRate(),
+			L1Gain:     safeRatio(mi6.L1MissRate(), ih.L1MissRate()),
+			L2MI6:      mi6.L2MissRate(),
+			L2Ironhide: ih.L2MissRate(),
+			L2Gain:     safeRatio(mi6.L2MissRate(), ih.L2MissRate()),
+		})
+		if mi6.L1MissRate() > 0 && ih.L1MissRate() > 0 {
+			l1m = append(l1m, mi6.L1MissRate())
+			l1i = append(l1i, ih.L1MissRate())
+		} else {
+			rep.Skipped++
+		}
+		if mi6.L2MissRate() > 0 && ih.L2MissRate() > 0 {
+			l2m = append(l2m, mi6.L2MissRate())
+			l2i = append(l2i, ih.L2MissRate())
+		} else {
+			rep.Skipped++
+		}
 	}
-	tb.Add("geomean",
-		metrics.Pct(metrics.Geomean(l1m)), metrics.Pct(metrics.Geomean(l1i)),
-		metrics.Fx(metrics.Geomean(l1m)/metrics.Geomean(l1i)),
-		metrics.Pct(metrics.Geomean(l2m)), metrics.Pct(metrics.Geomean(l2i)),
-		metrics.Fx(metrics.Geomean(l2m)/metrics.Geomean(l2i)))
-	fmt.Fprint(w, tb.String())
+	gl1m, gl1i := metrics.Geomean(l1m), metrics.Geomean(l1i)
+	gl2m, gl2i := metrics.Geomean(l2m), metrics.Geomean(l2i)
+	rep.Geomean = Fig7Row{
+		L1MI6: gl1m, L1Ironhide: gl1i, L1Gain: safeRatio(gl1m, gl1i),
+		L2MI6: gl2m, L2Ironhide: gl2i, L2Gain: safeRatio(gl2m, gl2i),
+	}
+	return rep
 }
+
+// Fig7 renders BuildFig7 as text.
+func (mx *Matrix) Fig7(w io.Writer) { _ = metrics.EmitText(w, mx.BuildFig7()) }
 
 func safeRatio(a, b float64) float64 {
 	if b == 0 {
@@ -236,144 +328,240 @@ func safeRatio(a, b float64) float64 {
 	return a / b
 }
 
-func nonzero(x float64) float64 {
-	if x <= 0 {
-		return 1e-6
-	}
-	return x
+// fig8Entry is one application's share of the Figure 8 study: the MI6
+// baseline, the gradient Heuristic, the overhead-free Optimal, and the
+// fixed variations around Optimal, all measured with one exhaustive
+// search. Entries are independent, so BuildFig8 runs them concurrently.
+type fig8Entry struct {
+	mi6, heuristic, optimal float64
+	varied                  []float64 // one per variation, in order
 }
 
-// Fig8Row is one bar of Figure 8.
-type Fig8Row struct {
-	Label      string
-	Geomean    float64 // completion, geomean over apps
-	Normalized float64 // vs MI6 = 100
-}
-
-// Fig8 reproduces the cluster-reconfiguration study: geomean completion
-// for the MI6 baseline, IRONHIDE's gradient Heuristic, the overhead-free
-// Optimal, and fixed ±5/±15/±25% decision variations around Optimal.
-func Fig8(cfg arch.Config, ec Config, w io.Writer) error {
-	fmt.Fprintln(w, "Figure 8: core re-allocation predictor study (geomean completion, MI6 = 100)")
+// BuildFig8 reproduces the cluster-reconfiguration study: geomean
+// completion for the MI6 baseline, IRONHIDE's gradient Heuristic, the
+// overhead-free Optimal, and fixed ±5/±15/±25% decision variations around
+// Optimal.
+func BuildFig8(cfg arch.Config, ec Config) (*Fig8Report, error) {
 	entries := ec.catalog()
 	variations := []float64{-0.25, -0.15, -0.05, +0.05, +0.15, +0.25}
+
+	measured, err := runner.Map(ec.workers(), entries, func(i int, entry apps.Entry) (fig8Entry, error) {
+		var out fig8Entry
+		opts := func() driver.Options {
+			return driver.Options{Scale: ec.scale(), Seed: ec.seed() + int64(i)}
+		}
+
+		// MI6 baseline.
+		mi6, err := driver.Run(cfg, enclave.MulticoreMI6{}, entry.Factory, opts())
+		if err != nil {
+			return out, err
+		}
+		out.mi6 = float64(mi6.CompletionCycles)
+
+		// Heuristic (the real IRONHIDE flow).
+		h, err := driver.Run(cfg, core.New(32), entry.Factory, opts())
+		if err != nil {
+			return out, err
+		}
+		out.heuristic = float64(h.CompletionCycles)
+
+		// One exhaustive search shared by Optimal and the variations.
+		eval := func(k int) (float64, error) {
+			return driver.Profile(cfg, core.New(32), entry.Factory, opts(), k)
+		}
+		opt, err := heuristic.Optimal(1, cfg.Cores()-1, ec.stride(), eval)
+		if err != nil {
+			return out, err
+		}
+		oOpts := opts()
+		oOpts.FixedSecureCores = opt.SecureCores
+		oOpts.WaiveReconfig = true
+		o, err := driver.Run(cfg, core.New(32), entry.Factory, oOpts)
+		if err != nil {
+			return out, err
+		}
+		out.optimal = float64(o.CompletionCycles)
+
+		for _, v := range variations {
+			vOpts := opts()
+			vOpts.FixedSecureCores = heuristic.Vary(opt.SecureCores, v, cfg.Cores(), 1, cfg.Cores()-1)
+			r, err := driver.Run(cfg, core.New(32), entry.Factory, vOpts)
+			if err != nil {
+				return out, err
+			}
+			out.varied = append(out.varied, float64(r.CompletionCycles))
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	labels := []string{"MI6", "Heuristic"}
 	for _, v := range variations {
 		labels = append(labels, fmt.Sprintf("%+.0f%%", v*100))
 	}
 	labels = append(labels, "Optimal")
+
 	acc := map[string][]float64{}
-
-	for _, entry := range entries {
-		// MI6 baseline.
-		mi6, err := driver.Run(cfg, enclave.MulticoreMI6{}, entry.Factory, driver.Options{Scale: ec.scale()})
-		if err != nil {
-			return err
-		}
-		acc["MI6"] = append(acc["MI6"], float64(mi6.CompletionCycles))
-
-		// Heuristic (the real IRONHIDE flow).
-		h, err := driver.Run(cfg, core.New(32), entry.Factory, driver.Options{Scale: ec.scale()})
-		if err != nil {
-			return err
-		}
-		acc["Heuristic"] = append(acc["Heuristic"], float64(h.CompletionCycles))
-
-		// One exhaustive search shared by Optimal and the variations.
-		eval := func(k int) (float64, error) {
-			return driver.Profile(cfg, core.New(32), entry.Factory, driver.Options{Scale: ec.scale()}, k)
-		}
-		opt, err := heuristic.Optimal(1, cfg.Cores()-1, ec.stride(), eval)
-		if err != nil {
-			return err
-		}
-		o, err := driver.Run(cfg, core.New(32), entry.Factory, driver.Options{
-			Scale: ec.scale(), FixedSecureCores: opt.SecureCores, WaiveReconfig: true,
-		})
-		if err != nil {
-			return err
-		}
-		acc["Optimal"] = append(acc["Optimal"], float64(o.CompletionCycles))
-
-		for _, v := range variations {
-			k := heuristic.Vary(opt.SecureCores, v, cfg.Cores(), 1, cfg.Cores()-1)
-			r, err := driver.Run(cfg, core.New(32), entry.Factory, driver.Options{
-				Scale: ec.scale(), FixedSecureCores: k,
-			})
-			if err != nil {
-				return err
-			}
-			acc[fmt.Sprintf("%+.0f%%", v*100)] = append(acc[fmt.Sprintf("%+.0f%%", v*100)], float64(r.CompletionCycles))
+	for _, m := range measured {
+		acc["MI6"] = append(acc["MI6"], m.mi6)
+		acc["Heuristic"] = append(acc["Heuristic"], m.heuristic)
+		acc["Optimal"] = append(acc["Optimal"], m.optimal)
+		for vi, v := range variations {
+			label := fmt.Sprintf("%+.0f%%", v*100)
+			acc[label] = append(acc[label], m.varied[vi])
 		}
 	}
 
+	rep := &Fig8Report{
+		Name:  "fig8",
+		Title: "Figure 8: core re-allocation predictor study (geomean completion, MI6 = 100)",
+		Note:  "paper: Heuristic ~2.1x over MI6, Optimal ~2.3x; Heuristic within the ±5% variations",
+	}
 	mi6G := metrics.Geomean(acc["MI6"])
-	tb := metrics.NewTable("decision", "geomean completion", "normalized (MI6=100)", "speedup vs MI6")
 	for _, label := range labels {
 		g := metrics.Geomean(acc[label])
-		tb.Add(label, fmt.Sprintf("%.0f", g), metrics.F(100*g/mi6G), metrics.Fx(mi6G/g))
+		rep.Rows = append(rep.Rows, Fig8Row{
+			Label:      label,
+			Geomean:    g,
+			Normalized: 100 * safeRatio(g, mi6G),
+			Speedup:    safeRatio(mi6G, g),
+		})
 	}
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintln(w, "\npaper: Heuristic ~2.1x over MI6, Optimal ~2.3x; Heuristic within the ±5% variations")
-	return nil
+	return rep, nil
 }
 
-// Table1 prints the reconstructed system-configuration table (the paper's
+// Fig8 renders BuildFig8 as text.
+func Fig8(cfg arch.Config, ec Config, w io.Writer) error {
+	rep, err := BuildFig8(cfg, ec)
+	if err != nil {
+		return err
+	}
+	return metrics.EmitText(w, rep)
+}
+
+// BuildTable1 reconstructs the system-configuration table (the paper's
 // Table I is absent from the available source text; values are rebuilt
 // from in-text references and public Tile-Gx72 documentation).
-func Table1(cfg arch.Config, w io.Writer) {
-	fmt.Fprintln(w, "Table I (reconstructed): simulated Tile-Gx72 system configuration")
-	tb := metrics.NewTable("parameter", "value")
-	tb.Add("cores (used)", fmt.Sprintf("%d on a %dx%d mesh", cfg.Cores(), cfg.MeshWidth, cfg.MeshHeight))
-	tb.Add("clock", fmt.Sprintf("%d MHz", cfg.ClockHz/1_000_000))
-	tb.Add("L1 data cache", fmt.Sprintf("%d KB, %d-way, %d B lines, %d-cycle hit", cfg.L1Size>>10, cfg.L1Ways, cfg.LineSize, cfg.L1HitLat))
-	tb.Add("TLB", fmt.Sprintf("%d entries, %d-way, %d KB pages, %d-cycle walk", cfg.TLBEntries, cfg.TLBWays, cfg.PageSize>>10, cfg.PageWalkLat))
-	tb.Add("shared L2", fmt.Sprintf("%d KB slice per core (%d MB total), %d-way, %d-cycle hit", cfg.L2SliceSize>>10, cfg.L2SliceSize*cfg.Cores()>>20, cfg.L2Ways, cfg.L2HitLat))
-	tb.Add("on-chip network", fmt.Sprintf("2-D mesh, X-Y/Y-X dimension-ordered, %d-cycle hop", cfg.HopLat))
-	tb.Add("memory controllers", fmt.Sprintf("%d, %d-entry queues, %d-cycle DRAM access", cfg.MemControllers, cfg.MCQueueDepth, cfg.DRAMLat))
-	tb.Add("DRAM regions", fmt.Sprintf("%d, statically distributable across domains", cfg.DRAMRegions))
-	tb.Add("SGX entry/exit", cfg.CyclesToDuration(cfg.SGXEntryExitLat).String())
-	fmt.Fprint(w, tb.String())
+func BuildTable1(cfg arch.Config) *Table1Report {
+	rep := &Table1Report{
+		Name:  "table1",
+		Title: "Table I (reconstructed): simulated Tile-Gx72 system configuration",
+	}
+	add := func(p, v string) { rep.Rows = append(rep.Rows, Table1Row{Parameter: p, Value: v}) }
+	add("cores (used)", fmt.Sprintf("%d on a %dx%d mesh", cfg.Cores(), cfg.MeshWidth, cfg.MeshHeight))
+	add("clock", fmt.Sprintf("%d MHz", cfg.ClockHz/1_000_000))
+	add("L1 data cache", fmt.Sprintf("%d KB, %d-way, %d B lines, %d-cycle hit", cfg.L1Size>>10, cfg.L1Ways, cfg.LineSize, cfg.L1HitLat))
+	add("TLB", fmt.Sprintf("%d entries, %d-way, %d KB pages, %d-cycle walk", cfg.TLBEntries, cfg.TLBWays, cfg.PageSize>>10, cfg.PageWalkLat))
+	add("shared L2", fmt.Sprintf("%d KB slice per core (%d MB total), %d-way, %d-cycle hit", cfg.L2SliceSize>>10, cfg.L2SliceSize*cfg.Cores()>>20, cfg.L2Ways, cfg.L2HitLat))
+	add("on-chip network", fmt.Sprintf("2-D mesh, X-Y/Y-X dimension-ordered, %d-cycle hop", cfg.HopLat))
+	add("memory controllers", fmt.Sprintf("%d, %d-entry queues, %d-cycle DRAM access", cfg.MemControllers, cfg.MCQueueDepth, cfg.DRAMLat))
+	add("DRAM regions", fmt.Sprintf("%d, statically distributable across domains", cfg.DRAMRegions))
+	add("SGX entry/exit", cfg.CyclesToDuration(cfg.SGXEntryExitLat).String())
+	return rep
 }
+
+// Table1 renders BuildTable1 as text.
+func Table1(cfg arch.Config, w io.Writer) { _ = metrics.EmitText(w, BuildTable1(cfg)) }
 
 // SweepPoint is one interactivity measurement.
 type SweepPoint struct {
-	App        string
-	Inputs     int
-	Model      string
-	Completion int64
-	PurgeShare float64
+	App        string  `json:"app"`
+	Inputs     int     `json:"inputs"`
+	Model      string  `json:"model"`
+	Completion int64   `json:"completion_cycles"`
+	PurgeShare float64 `json:"purge_share"`
 }
 
-// Sweep runs the input-scale ablation (paper Section IV-B runs each user
-// app at 500..50K inputs): completion and MI6 purge share versus the
-// number of interaction rounds.
-func Sweep(cfg arch.Config, ec Config, rounds []int, w io.Writer) ([]SweepPoint, error) {
-	fmt.Fprintln(w, "Interactivity sweep: purge overhead vs input count (MI6 vs IRONHIDE)")
+// BuildSweep runs the input-scale ablation (paper Section IV-B runs each
+// user app at 500..50K inputs): completion and MI6 purge share versus the
+// number of interaction rounds, as one (app × rounds × model) job grid.
+func BuildSweep(cfg arch.Config, ec Config, rounds []int) (*SweepReport, error) {
 	entries := ec.catalog()
 	if len(entries) > 2 {
 		entries = entries[:2]
 	}
-	var points []SweepPoint
-	tb := metrics.NewTable("application", "rounds", "model", "completion", "purge share")
+	sweepModels := []func() enclave.Model{
+		func() enclave.Model { return enclave.MulticoreMI6{} },
+		func() enclave.Model { return core.New(32) },
+	}
+
+	var jobs []runner.Job
+	var appOf []string
 	for _, entry := range entries {
 		base := entry.Factory()
 		for _, n := range rounds {
-			scale := float64(n) / float64(base.Rounds)
-			for _, model := range []enclave.Model{enclave.MulticoreMI6{}, core.New(32)} {
-				res, err := driver.Run(cfg, model, entry.Factory, driver.Options{Scale: scale})
-				if err != nil {
-					return nil, err
-				}
-				share := float64(res.PurgeCycles+res.ReconfigCycles) / float64(res.CompletionCycles)
-				points = append(points, SweepPoint{App: entry.Name, Inputs: res.Rounds, Model: model.Name(), Completion: res.CompletionCycles, PurgeShare: share})
-				tb.Add(entry.Name, fmt.Sprintf("%d", res.Rounds), model.Name(), fmt.Sprintf("%d", res.CompletionCycles), metrics.Pct(share))
+			for _, model := range sweepModels {
+				jobs = append(jobs, runner.Job{
+					Key:   fmt.Sprintf("%s/%d/%s", entry.Name, n, model().Name()),
+					App:   entry.Factory,
+					Model: model,
+					Opts:  driver.Options{Scale: float64(n) / float64(base.Rounds)},
+				})
+				appOf = append(appOf, entry.Name)
 			}
 		}
 	}
-	fmt.Fprint(w, tb.String())
-	return points, nil
+
+	results, err := ec.runner(cfg).Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SweepReport{
+		Name:  "sweep",
+		Title: "Interactivity sweep: purge overhead vs input count (MI6 vs IRONHIDE)",
+	}
+	for i, r := range results {
+		res := r.Res
+		share := float64(res.PurgeCycles+res.ReconfigCycles) / float64(res.CompletionCycles)
+		rep.Points = append(rep.Points, SweepPoint{
+			App: appOf[i], Inputs: res.Rounds, Model: res.Model,
+			Completion: res.CompletionCycles, PurgeShare: share,
+		})
+	}
+	return rep, nil
+}
+
+// Sweep renders BuildSweep as text and returns its points.
+func Sweep(cfg arch.Config, ec Config, rounds []int, w io.Writer) ([]SweepPoint, error) {
+	rep, err := BuildSweep(cfg, ec, rounds)
+	if err != nil {
+		return nil, err
+	}
+	if err := metrics.EmitText(w, rep); err != nil {
+		return nil, err
+	}
+	return rep.Points, nil
+}
+
+// BuildAttack mounts the Prime+Probe covert channel under every model
+// (one worker per model) and reports the recovered-bit statistics; the
+// channel's secret bit string derives from Config.BaseSeed.
+func BuildAttack(ec Config, trials int) (*AttackReport, error) {
+	models := driver.Models()
+	rows, err := runner.Map(ec.workers(), models, func(i int, m enclave.Model) (AttackRow, error) {
+		res, err := attack.CovertChannel(m, trials, ec.seed())
+		if err != nil {
+			return AttackRow{}, err
+		}
+		return AttackRow{
+			Model:      res.Model,
+			Correct:    res.Correct,
+			Trials:     res.Trials,
+			Accuracy:   res.Accuracy(),
+			Collisions: res.Collisions,
+			Leaks:      res.Leaks(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AttackReport{
+		Name:  "attack",
+		Title: "Prime+Probe covert-channel validation (extension)",
+		Rows:  rows,
+	}, nil
 }
 
 // SortedModels returns model names sorted (test helper).

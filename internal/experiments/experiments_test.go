@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"ironhide/internal/arch"
+	"ironhide/internal/metrics"
 	"ironhide/internal/workload"
 )
 
@@ -109,6 +111,85 @@ func TestSweep(t *testing.T) {
 		}
 		if mi6.PurgeShare <= ih.PurgeShare {
 			t.Fatalf("MI6 purge share %.2f not above IRONHIDE %.2f", mi6.PurgeShare, ih.PurgeShare)
+		}
+	}
+}
+
+// The tentpole acceptance property: a parallel sweep renders reports
+// byte-identical to a sequential one.
+func TestParallelDeterminism(t *testing.T) {
+	render := func(parallel int) (fig1a, fig7 string) {
+		ec := fast()
+		ec.Parallel = parallel
+		mx, err := RunMatrix(cfg(), ec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		if err := metrics.EmitText(&a, mx.BuildFig1a()); err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.EmitText(&b, mx.BuildFig7()); err != nil {
+			t.Fatal(err)
+		}
+		return a.String(), b.String()
+	}
+	f1Seq, f7Seq := render(1)
+	f1Par, f7Par := render(8)
+	if f1Seq != f1Par {
+		t.Fatalf("fig1a diverges between -parallel 1 and 8:\n--- seq ---\n%s--- par ---\n%s", f1Seq, f1Par)
+	}
+	if f7Seq != f7Par {
+		t.Fatalf("fig7 diverges between -parallel 1 and 8:\n--- seq ---\n%s--- par ---\n%s", f7Seq, f7Par)
+	}
+}
+
+// Every experiment report must emit through all three formats, and the
+// JSON form must stay machine-readable.
+func TestReportsEmitAllFormats(t *testing.T) {
+	ec := fast()
+	ec.Parallel = 4
+	mx, err := RunMatrix(cfg(), ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := BuildAttack(Config{Parallel: 4, BaseSeed: 42}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := BuildSweep(cfg(), Config{Scale: 1, Apps: []string{"<MEMCACHED, OS>"}, Parallel: 4}, []int{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := []metrics.Tabular{
+		mx.BuildFig1a(), mx.BuildFig6(), mx.BuildFig7(),
+		BuildTable1(cfg()), att, sweep,
+	}
+	for _, rep := range reports {
+		if rep.ReportName() == "" || rep.ReportTitle() == "" {
+			t.Fatalf("%T lacks name/title", rep)
+		}
+		for _, format := range metrics.Formats() {
+			emit, _, err := metrics.EmitterFor(format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := emit(&buf, rep); err != nil {
+				t.Fatalf("%s/%s: %v", rep.ReportName(), format, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s/%s: empty output", rep.ReportName(), format)
+			}
+			if format == "json" {
+				var decoded map[string]any
+				if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+					t.Fatalf("%s json invalid: %v", rep.ReportName(), err)
+				}
+				if decoded["name"] != rep.ReportName() {
+					t.Fatalf("%s json name = %v", rep.ReportName(), decoded["name"])
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,281 @@
+// Typed reports: the measurement half of every experiment produces one of
+// these structs (raw numeric rows), and the Sections methods here are the
+// presentation half, formatting cells for the text/CSV emitters in
+// internal/metrics. The JSON emitter marshals the structs directly, so
+// downstream analysis gets full-precision values.
+package experiments
+
+import (
+	"fmt"
+
+	"ironhide/internal/metrics"
+)
+
+// Fig1aRow is one bar of Figure 1(a).
+type Fig1aRow struct {
+	Model      string  `json:"model"`
+	Normalized float64 `json:"normalized_completion"`
+	Paper      string  `json:"paper_reports,omitempty"`
+}
+
+// Fig1aReport holds the normalized geomean completion times of the secure
+// architectures over the insecure baseline.
+type Fig1aReport struct {
+	Name  string     `json:"name"`
+	Title string     `json:"title"`
+	Rows  []Fig1aRow `json:"rows"`
+}
+
+func (r *Fig1aReport) ReportName() string  { return r.Name }
+func (r *Fig1aReport) ReportTitle() string { return r.Title }
+
+func (r *Fig1aReport) Sections() []metrics.Section {
+	s := metrics.Section{Columns: []string{"architecture", "normalized completion", "paper reports"}}
+	for _, row := range r.Rows {
+		s.Rows = append(s.Rows, []string{row.Model, metrics.Fx(row.Normalized), row.Paper})
+	}
+	return []metrics.Section{s}
+}
+
+// Fig6Row is one (application, model) completion breakdown.
+type Fig6Row struct {
+	App              string `json:"app"`
+	Model            string `json:"model"`
+	CompletionCycles int64  `json:"completion_cycles"`
+	ComputeCycles    int64  `json:"compute_cycles"`
+	EntryExitCycles  int64  `json:"entry_exit_cycles"`
+	PurgeCycles      int64  `json:"purge_cycles"`
+	ReconfigCycles   int64  `json:"reconfig_cycles"`
+	SecureCores      int    `json:"secure_cores"`
+}
+
+// SpeedupRow is one scope of Figure 6's geomean speedup summary.
+type SpeedupRow struct {
+	Scope         string  `json:"scope"`
+	MI6VsIronhide float64 `json:"mi6_vs_ironhide"`
+	SGXVsIronhide float64 `json:"sgx_vs_ironhide"`
+	MI6VsSGX      float64 `json:"mi6_vs_sgx"`
+	Paper         string  `json:"paper_reports,omitempty"`
+}
+
+// Fig6Report holds the per-application completion breakdowns, the geomean
+// speedups, and the purge analysis.
+type Fig6Report struct {
+	Name     string       `json:"name"`
+	Title    string       `json:"title"`
+	Rows     []Fig6Row    `json:"rows"`
+	Speedups []SpeedupRow `json:"speedups"`
+
+	// MI6 purge analysis (the paper's ~47% / ~0.19 ms / ~706x numbers).
+	MI6PurgeShare       float64 `json:"mi6_purge_share"`
+	MI6PurgePerEventCyc int64   `json:"mi6_purge_per_event_cycles"` // at full fidelity
+	ProtocolDilation    int64   `json:"protocol_dilation"`
+	PurgeImprovementMI6 float64 `json:"purge_improvement_mi6_vs_ironhide"` // 0 when undefined
+}
+
+func (r *Fig6Report) ReportName() string  { return r.Name }
+func (r *Fig6Report) ReportTitle() string { return r.Title }
+
+func (r *Fig6Report) Sections() []metrics.Section {
+	breakdown := metrics.Section{
+		Columns: []string{"application", "model", "completion", "compute", "entry/exit", "purge", "reconfig", "secure cores"},
+	}
+	for _, row := range r.Rows {
+		breakdown.Rows = append(breakdown.Rows, []string{
+			row.App, row.Model,
+			fmt.Sprintf("%d", row.CompletionCycles),
+			fmt.Sprintf("%d", row.ComputeCycles),
+			fmt.Sprintf("%d", row.EntryExitCycles),
+			fmt.Sprintf("%d", row.PurgeCycles),
+			fmt.Sprintf("%d", row.ReconfigCycles),
+			fmt.Sprintf("%d", row.SecureCores),
+		})
+	}
+
+	speedups := metrics.Section{
+		Caption: "Geometric-mean speedups (completion-time ratios):",
+		Columns: []string{"scope", "MI6/IRONHIDE", "SGX/IRONHIDE", "MI6/SGX", "paper: MI6/IRONHIDE"},
+	}
+	for _, row := range r.Speedups {
+		speedups.Rows = append(speedups.Rows, []string{
+			row.Scope, metrics.Fx(row.MI6VsIronhide), metrics.Fx(row.SGXVsIronhide), metrics.Fx(row.MI6VsSGX), row.Paper,
+		})
+	}
+
+	purge := metrics.Section{
+		Notes: []string{fmt.Sprintf(
+			"MI6 purge: %s of completion (paper ~47%%), %s per interaction event at full fidelity (paper ~0.19ms, dilation %dx)",
+			metrics.Pct(r.MI6PurgeShare), metrics.Ms(r.MI6PurgePerEventCyc), r.ProtocolDilation)},
+	}
+	if r.PurgeImprovementMI6 > 0 {
+		purge.Notes = append(purge.Notes, fmt.Sprintf(
+			"purge-component improvement MI6 vs IRONHIDE: %s (paper ~706x)", metrics.Fx(r.PurgeImprovementMI6)))
+	}
+	return []metrics.Section{breakdown, speedups, purge}
+}
+
+// Fig7Row is one application's L1/L2 miss-rate comparison.
+type Fig7Row struct {
+	App        string  `json:"app"`
+	L1MI6      float64 `json:"l1_mi6"`
+	L1Ironhide float64 `json:"l1_ironhide"`
+	L1Gain     float64 `json:"l1_gain"`
+	L2MI6      float64 `json:"l2_mi6"`
+	L2Ironhide float64 `json:"l2_ironhide"`
+	L2Gain     float64 `json:"l2_gain"`
+}
+
+// Fig7Report holds the private-L1 and shared-L2 miss rates of MI6 and
+// IRONHIDE plus their geomeans.
+type Fig7Report struct {
+	Name    string    `json:"name"`
+	Title   string    `json:"title"`
+	Rows    []Fig7Row `json:"rows"`
+	Geomean Fig7Row   `json:"geomean"`
+	// Skipped counts (app, cache level) pairs excluded from the geomeans
+	// because either side's miss rate was degenerate (non-positive) —
+	// non-zero flags a broken run without aborting it.
+	Skipped int `json:"skipped_pairs,omitempty"`
+}
+
+func (r *Fig7Report) ReportName() string  { return r.Name }
+func (r *Fig7Report) ReportTitle() string { return r.Title }
+
+func fig7Cells(label string, row Fig7Row) []string {
+	return []string{
+		label,
+		metrics.Pct(row.L1MI6), metrics.Pct(row.L1Ironhide), metrics.Fx(row.L1Gain),
+		metrics.Pct(row.L2MI6), metrics.Pct(row.L2Ironhide), metrics.Fx(row.L2Gain),
+	}
+}
+
+func (r *Fig7Report) Sections() []metrics.Section {
+	s := metrics.Section{
+		Columns: []string{"application", "L1 MI6", "L1 IRONHIDE", "L1 gain", "L2 MI6", "L2 IRONHIDE", "L2 gain"},
+	}
+	for _, row := range r.Rows {
+		s.Rows = append(s.Rows, fig7Cells(row.App, row))
+	}
+	s.Rows = append(s.Rows, fig7Cells("geomean", r.Geomean))
+	if r.Skipped > 0 {
+		s.Notes = append(s.Notes, fmt.Sprintf("note: %d (app, cache level) pair(s) with degenerate miss rates skipped from geomeans", r.Skipped))
+	}
+	return []metrics.Section{s}
+}
+
+// Fig8Row is one bar of Figure 8.
+type Fig8Row struct {
+	Label      string  `json:"label"`
+	Geomean    float64 `json:"geomean_completion"`    // completion, geomean over apps
+	Normalized float64 `json:"normalized_mi6_eq_100"` // vs MI6 = 100
+	Speedup    float64 `json:"speedup_vs_mi6"`
+}
+
+// Fig8Report holds the cluster-reconfiguration predictor study.
+type Fig8Report struct {
+	Name  string    `json:"name"`
+	Title string    `json:"title"`
+	Rows  []Fig8Row `json:"rows"`
+	Note  string    `json:"note,omitempty"`
+}
+
+func (r *Fig8Report) ReportName() string  { return r.Name }
+func (r *Fig8Report) ReportTitle() string { return r.Title }
+
+func (r *Fig8Report) Sections() []metrics.Section {
+	s := metrics.Section{
+		Columns: []string{"decision", "geomean completion", "normalized (MI6=100)", "speedup vs MI6"},
+	}
+	for _, row := range r.Rows {
+		s.Rows = append(s.Rows, []string{
+			row.Label, fmt.Sprintf("%.0f", row.Geomean), metrics.F(row.Normalized), metrics.Fx(row.Speedup),
+		})
+	}
+	if r.Note != "" {
+		s.Notes = append(s.Notes, r.Note)
+	}
+	return []metrics.Section{s}
+}
+
+// Table1Row is one parameter of the reconstructed configuration table.
+type Table1Row struct {
+	Parameter string `json:"parameter"`
+	Value     string `json:"value"`
+}
+
+// Table1Report holds the reconstructed Table I.
+type Table1Report struct {
+	Name  string      `json:"name"`
+	Title string      `json:"title"`
+	Rows  []Table1Row `json:"rows"`
+}
+
+func (r *Table1Report) ReportName() string  { return r.Name }
+func (r *Table1Report) ReportTitle() string { return r.Title }
+
+func (r *Table1Report) Sections() []metrics.Section {
+	s := metrics.Section{Columns: []string{"parameter", "value"}}
+	for _, row := range r.Rows {
+		s.Rows = append(s.Rows, []string{row.Parameter, row.Value})
+	}
+	return []metrics.Section{s}
+}
+
+// SweepReport holds the interactivity ablation points.
+type SweepReport struct {
+	Name   string       `json:"name"`
+	Title  string       `json:"title"`
+	Points []SweepPoint `json:"points"`
+}
+
+func (r *SweepReport) ReportName() string  { return r.Name }
+func (r *SweepReport) ReportTitle() string { return r.Title }
+
+func (r *SweepReport) Sections() []metrics.Section {
+	s := metrics.Section{Columns: []string{"application", "rounds", "model", "completion", "purge share"}}
+	for _, p := range r.Points {
+		s.Rows = append(s.Rows, []string{
+			p.App, fmt.Sprintf("%d", p.Inputs), p.Model, fmt.Sprintf("%d", p.Completion), metrics.Pct(p.PurgeShare),
+		})
+	}
+	return []metrics.Section{s}
+}
+
+// AttackRow is one model's covert-channel outcome.
+type AttackRow struct {
+	Model      string  `json:"model"`
+	Correct    int     `json:"correct_bits"`
+	Trials     int     `json:"trials"`
+	Accuracy   float64 `json:"accuracy"`
+	Collisions int     `json:"collision_sets"`
+	Leaks      bool    `json:"leaks"`
+}
+
+// AttackReport holds the Prime+Probe covert-channel validation across the
+// four models.
+type AttackReport struct {
+	Name  string      `json:"name"`
+	Title string      `json:"title"`
+	Rows  []AttackRow `json:"rows"`
+}
+
+func (r *AttackReport) ReportName() string  { return r.Name }
+func (r *AttackReport) ReportTitle() string { return r.Title }
+
+func (r *AttackReport) Sections() []metrics.Section {
+	s := metrics.Section{Columns: []string{"model", "bits recovered", "accuracy", "collision sets", "verdict"}}
+	for _, row := range r.Rows {
+		verdict := "channel DEAD (strong isolation holds)"
+		if row.Leaks {
+			verdict = "channel LEAKS"
+		}
+		s.Rows = append(s.Rows, []string{
+			row.Model,
+			fmt.Sprintf("%d/%d", row.Correct, row.Trials),
+			metrics.Pct(row.Accuracy),
+			fmt.Sprintf("%d", row.Collisions),
+			verdict,
+		})
+	}
+	return []metrics.Section{s}
+}

@@ -10,20 +10,34 @@ import (
 	"strings"
 )
 
-// Geomean returns the geometric mean of xs; it returns 0 for an empty
-// input and panics on non-positive values (completion times are positive).
+// Geomean returns the geometric mean of the positive values of xs,
+// skipping non-positive ones; it returns 0 when no positive value exists.
+// A single degenerate measurement must not abort a whole sweep — use
+// GeomeanSkip when the caller wants to report how much was skipped.
 func Geomean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
+	g, _ := GeomeanSkip(xs)
+	return g
+}
+
+// GeomeanSkip returns the geometric mean of the positive values of xs and
+// the count of non-positive values it skipped (completion times and miss
+// rates are positive in a healthy run, so skipped > 0 flags a degenerate
+// measurement worth surfacing).
+func GeomeanSkip(xs []float64) (g float64, skipped int) {
 	var logSum float64
+	n := 0
 	for _, x := range xs {
 		if x <= 0 {
-			panic(fmt.Sprintf("metrics: geomean of non-positive value %g", x))
+			skipped++
+			continue
 		}
 		logSum += math.Log(x)
+		n++
 	}
-	return math.Exp(logSum / float64(len(xs)))
+	if n == 0 {
+		return 0, skipped
+	}
+	return math.Exp(logSum / float64(n)), skipped
 }
 
 // Normalize divides each value by the matching baseline.

@@ -19,13 +19,19 @@ func TestGeomeanKnown(t *testing.T) {
 	}
 }
 
-func TestGeomeanPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for zero value")
-		}
-	}()
-	Geomean([]float64{1, 0})
+func TestGeomeanSkipsNonPositive(t *testing.T) {
+	// A degenerate measurement must not crash a sweep: non-positive values
+	// are skipped and reported, never panicked on.
+	g, skipped := GeomeanSkip([]float64{2, 0, 8, -3})
+	if math.Abs(g-4) > 1e-12 || skipped != 2 {
+		t.Fatalf("GeomeanSkip = (%f, %d), want (4, 2)", g, skipped)
+	}
+	if Geomean([]float64{1, 0}) != 1 {
+		t.Fatalf("Geomean with zero = %f, want 1", Geomean([]float64{1, 0}))
+	}
+	if g, skipped := GeomeanSkip([]float64{0, -1}); g != 0 || skipped != 2 {
+		t.Fatalf("all-degenerate GeomeanSkip = (%f, %d)", g, skipped)
+	}
 }
 
 // Property: geomean lies between min and max.

@@ -1,0 +1,140 @@
+// Report emitters: every experiment produces a typed report struct that
+// implements Tabular, and the presentation layer renders it as a
+// fixed-width text table (the paper-style console output), CSV blocks, or
+// JSON (the typed struct itself, with full-precision numeric fields for
+// downstream analysis). Measurement code never formats tables.
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Section is one rendered table of a report plus its free-text notes.
+// Reports with several views (Figure 6 has the breakdown matrix, the
+// speedup summary and the purge analysis) emit one Section per view.
+type Section struct {
+	Caption string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Tabular is the presentation contract every experiment report satisfies.
+// Sections() carries the human-formatted cells for the text and CSV
+// emitters; the JSON emitter marshals the typed report struct directly,
+// so its exported fields keep full numeric precision.
+type Tabular interface {
+	// ReportName is the file-safe experiment name, e.g. "fig1a".
+	ReportName() string
+	// ReportTitle is the one-line human heading.
+	ReportTitle() string
+	// Sections returns the formatted tables in presentation order.
+	Sections() []Section
+}
+
+// Emitter renders one report to a writer.
+type Emitter func(io.Writer, Tabular) error
+
+// Formats lists the supported emitter formats.
+func Formats() []string { return []string{"text", "csv", "json"} }
+
+// EmitterFor resolves a format name to its emitter and file extension.
+func EmitterFor(format string) (Emitter, string, error) {
+	switch format {
+	case "text", "":
+		return EmitText, ".txt", nil
+	case "csv":
+		return EmitCSV, ".csv", nil
+	case "json":
+		return EmitJSON, ".json", nil
+	default:
+		return nil, "", fmt.Errorf("metrics: unknown format %q (want %s)", format, strings.Join(Formats(), "|"))
+	}
+}
+
+// EmitText renders the report the way the harness always has: a title
+// line, then each section as a fixed-width table with its notes.
+func EmitText(w io.Writer, r Tabular) error {
+	if _, err := fmt.Fprintln(w, r.ReportTitle()); err != nil {
+		return err
+	}
+	for i, s := range r.Sections() {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if s.Caption != "" {
+			if _, err := fmt.Fprintln(w, s.Caption); err != nil {
+				return err
+			}
+		}
+		if len(s.Columns) > 0 {
+			tb := NewTable(s.Columns...)
+			for _, row := range s.Rows {
+				tb.Add(row...)
+			}
+			if _, err := fmt.Fprint(w, tb.String()); err != nil {
+				return err
+			}
+		}
+		for _, n := range s.Notes {
+			if _, err := fmt.Fprintln(w, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EmitCSV renders each section as a CSV block (header row then data
+// rows), preceded by "# "-prefixed title/caption/note lines and separated
+// by blank lines, so one file carries a whole multi-table report while
+// staying trivially splittable for analysis tools.
+func EmitCSV(w io.Writer, r Tabular) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", r.ReportName(), r.ReportTitle()); err != nil {
+		return err
+	}
+	for _, s := range r.Sections() {
+		if s.Caption != "" {
+			if _, err := fmt.Fprintf(w, "# %s\n", s.Caption); err != nil {
+				return err
+			}
+		}
+		if len(s.Columns) > 0 {
+			cw := csv.NewWriter(w)
+			if err := cw.Write(s.Columns); err != nil {
+				return err
+			}
+			if err := cw.WriteAll(s.Rows); err != nil {
+				return err
+			}
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+		}
+		for _, n := range s.Notes {
+			if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EmitJSON marshals the typed report struct itself (indented, trailing
+// newline), preserving the raw numeric measurements the string cells
+// round away.
+func EmitJSON(w io.Writer, r Tabular) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fakeReport is a minimal two-section Tabular for emitter tests.
+type fakeReport struct {
+	Name  string  `json:"name"`
+	Title string  `json:"title"`
+	Value float64 `json:"value"`
+}
+
+func (r *fakeReport) ReportName() string  { return r.Name }
+func (r *fakeReport) ReportTitle() string { return r.Title }
+func (r *fakeReport) Sections() []Section {
+	return []Section{
+		{
+			Columns: []string{"model", "speedup"},
+			Rows:    [][]string{{"MI6", "1.00x"}, {"IRONHIDE", "2.10x"}},
+		},
+		{
+			Caption: "summary",
+			Notes:   []string{"paper reports ~2.1x"},
+		},
+	}
+}
+
+func sample() *fakeReport {
+	return &fakeReport{Name: "fake", Title: "Fake figure", Value: 2.0999999}
+}
+
+func TestEmitterForResolvesFormats(t *testing.T) {
+	for _, f := range Formats() {
+		emit, ext, err := EmitterFor(f)
+		if err != nil || emit == nil || !strings.HasPrefix(ext, ".") {
+			t.Fatalf("EmitterFor(%q) = (%v, %q, %v)", f, emit, ext, err)
+		}
+	}
+	if _, _, err := EmitterFor("text"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := EmitterFor("yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestEmitText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitText(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fake figure", "model", "IRONHIDE", "2.10x", "summary", "paper reports ~2.1x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasPrefix(out, "Fake figure\n") {
+		t.Fatalf("title not first line:\n%s", out)
+	}
+}
+
+func TestEmitCSVParsesBack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitCSV(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# fake: Fake figure\n") {
+		t.Fatalf("missing title comment:\n%s", out)
+	}
+	if !strings.Contains(out, "# summary") || !strings.Contains(out, "# paper reports ~2.1x") {
+		t.Fatalf("caption/notes not commented:\n%s", out)
+	}
+	// The data block must round-trip through a CSV reader.
+	var data []string
+	for _, line := range strings.Split(out, "\n") {
+		if line != "" && !strings.HasPrefix(line, "# ") {
+			data = append(data, line)
+		}
+	}
+	rec, err := csv.NewReader(strings.NewReader(strings.Join(data, "\n"))).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 3 || rec[0][0] != "model" || rec[2][1] != "2.10x" {
+		t.Fatalf("csv records = %v", rec)
+	}
+}
+
+func TestEmitJSONKeepsPrecision(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitJSON(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	var got fakeReport
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "fake" || got.Value != 2.0999999 {
+		t.Fatalf("json round-trip = %+v", got)
+	}
+}
