@@ -70,6 +70,58 @@ func BenchmarkTable1Machine(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessHotPath measures one steady-state Machine.Access on the
+// full 64-core machine with routing isolation active — the operation every
+// simulated memory reference pays. Run with -benchmem: the allocs/op
+// column is the zero-allocation claim (also gated by TestAccessZeroAlloc).
+func BenchmarkAccessHotPath(b *testing.B) {
+	build := func(b *testing.B) (*sim.Machine, sim.Buffer) {
+		cfg := arch.TileGx72()
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Part.AssignDomains(0b0011); err != nil {
+			b.Fatal(err)
+		}
+		split, err := noc.NewSplit(32, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.SetSplit(split, true)
+		// Home the whole window on slice 0 so a cyclic walk of twice the
+		// slice capacity misses L2 on every steady-state access.
+		m.SetHomePolicy(arch.Secure, cache.NewLocalHome())
+		m.SetSlices(arch.Secure, []cache.SliceID{0})
+		buf := m.NewSpace("bench", arch.Secure).Alloc("a", 2*cfg.L2SliceSize)
+		return m, buf
+	}
+	b.Run("l1-hit", func(b *testing.B) {
+		m, buf := build(b)
+		addr := buf.Addr(0)
+		m.Access(0, addr, false, arch.Secure, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Access(0, addr, false, arch.Secure, int64(i))
+		}
+	})
+	b.Run("l2-miss", func(b *testing.B) {
+		m, buf := build(b)
+		line := m.Cfg.LineSize
+		for off := 0; off < buf.Size; off += line {
+			m.Access(0, buf.Addr(off), true, arch.Secure, 0)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		off := 0
+		for i := 0; i < b.N; i++ {
+			m.Access(0, buf.Addr(off), true, arch.Secure, int64(i))
+			off = (off + line) % buf.Size
+		}
+	})
+}
+
 func BenchmarkFig1a(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
@@ -279,6 +331,7 @@ func benchGrid(b *testing.B, workers int) {
 	cfg := benchCfg()
 	ec := benchEC()
 	ec.Parallel = workers
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		mx, err := experiments.RunMatrix(cfg, ec)
 		if err != nil {

@@ -21,6 +21,8 @@
 // all host cores) with deterministic per-job seeds, so any worker count
 // emits identical reports. -format selects the emitter; -out writes one
 // file per experiment report (<name>.txt/.csv/.json) instead of stdout.
+// -cpuprofile writes a pprof CPU profile of the run for the performance
+// workflow documented in the README.
 package main
 
 import (
@@ -29,7 +31,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"ironhide/internal/apps"
@@ -52,6 +56,7 @@ func main() {
 	format := flag.String("format", "text", "report format: text, csv or json")
 	outDir := flag.String("out", "", "write one <experiment>.<ext> file per report into this directory instead of stdout")
 	seed := flag.Int64("seed", 42, "base seed for deterministic runs and the covert-channel secret")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ironhide-sim [flags] {%s|all}\n", strings.Join(experimentNames, "|"))
 		flag.PrintDefaults()
@@ -88,6 +93,24 @@ func main() {
 		names = experimentNames
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		var once sync.Once
+		stopProfile = func() {
+			once.Do(func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			})
+		}
+		defer stopProfile()
+	}
+
 	reports, err := build(names, cfg, ec, *trials)
 	if err != nil {
 		fatal(err)
@@ -97,7 +120,12 @@ func main() {
 	}
 }
 
+// stopProfile flushes the active CPU profile, if any; fatal runs it so an
+// errored run still leaves a parseable profile (os.Exit skips defers).
+var stopProfile = func() {}
+
 func fatal(err error) {
+	stopProfile()
 	fmt.Fprintln(os.Stderr, "ironhide-sim:", err)
 	os.Exit(1)
 }

@@ -260,3 +260,12 @@ func max64(a, b int64) int64 {
 	}
 	return b
 }
+
+// Abs returns the absolute value of x. Mesh-geometry code across the
+// packages shares this helper (hop counts and Manhattan distances).
+func Abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

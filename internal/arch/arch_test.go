@@ -103,3 +103,11 @@ func TestDomainString(t *testing.T) {
 		t.Fatal("unknown domain formatting changed")
 	}
 }
+
+func TestAbs(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 0}, {5, 5}, {-5, 5}, {-1, 1}} {
+		if got := Abs(tc.in); got != tc.want {
+			t.Errorf("Abs(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

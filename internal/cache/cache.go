@@ -113,13 +113,15 @@ func (c *Cache) Access(addr arch.Addr, write bool, owner arch.Domain) Result {
 	c.clock++
 	c.stats.Accesses++
 	tag := uint64(addr) >> c.lineShift
-	set := int(tag & c.setMask)
-	base := set * c.ways
+	base := int(tag&c.setMask) * c.ways
+	// One bounds check for the whole set; the way loop then runs on a
+	// fixed-length view, which matters on the simulator's access hot path.
+	set := c.lines[base : base+c.ways]
 
 	var victim, free = -1, -1
 	var oldest uint64 = ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
+	for w := range set {
+		l := &set[w]
 		if l.valid && l.tag == tag {
 			l.used = c.clock
 			if write {
@@ -144,7 +146,7 @@ func (c *Cache) Access(addr arch.Addr, write bool, owner arch.Domain) Result {
 	slot := free
 	if slot < 0 {
 		slot = victim
-		v := &c.lines[base+slot]
+		v := &set[slot]
 		res.Evicted = true
 		res.VictimOwner = v.owner
 		res.VictimWasOther = v.owner != owner
@@ -154,7 +156,7 @@ func (c *Cache) Access(addr arch.Addr, write bool, owner arch.Domain) Result {
 		}
 		c.stats.Evictions++
 	}
-	c.lines[base+slot] = line{tag: tag, valid: true, dirty: write, owner: owner, used: c.clock}
+	set[slot] = line{tag: tag, valid: true, dirty: write, owner: owner, used: c.clock}
 	return res
 }
 
@@ -249,8 +251,9 @@ func (c *Cache) FlushInvalidate() FlushResult {
 		if l.dirty {
 			fr.WrittenBack++
 		}
-		*l = line{}
 	}
+	// Invalidate with one bulk memclr instead of a per-line store.
+	clear(c.lines)
 	c.stats.Flushes++
 	return fr
 }

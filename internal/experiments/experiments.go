@@ -144,6 +144,13 @@ func RunMatrix(cfg arch.Config, ec Config) (*Matrix, error) {
 		return nil, err
 	}
 	for i, r := range results {
+		// Strong-isolation invariant: under contiguous row-major splits
+		// the bidirectional route chooser must never fail containment, so
+		// any violation in any cell is a simulator bug, not a measurement.
+		if r.Res.RouteViolations != 0 {
+			return nil, fmt.Errorf("experiments: %s recorded %d route violations; contained routing must never fail under contiguous splits",
+				jobs[i].Key, r.Res.RouteViolations)
+		}
 		mx.Cells[slots[i].entry.Name][slots[i].model] = &Cell{Entry: slots[i].entry, Result: r.Res}
 	}
 	return mx, nil

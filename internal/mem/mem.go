@@ -14,6 +14,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ironhide/internal/arch"
 )
@@ -149,7 +150,7 @@ func (p *Partition) AssignDomains(secureMask uint) error {
 	if secureMask>>uint(p.controllers) != 0 {
 		return fmt.Errorf("mem: secure mask %#b names controllers beyond %d", secureMask, p.controllers)
 	}
-	if secureMask == 0 || int(popcount(secureMask)) == p.controllers {
+	if secureMask == 0 || bits.OnesCount(secureMask) == p.controllers {
 		return fmt.Errorf("mem: secure mask %#b must leave both domains at least one controller", secureMask)
 	}
 	for c := 0; c < p.controllers; c++ {
@@ -209,12 +210,4 @@ func (p *Partition) Isolated() bool {
 		}
 	}
 	return sec && insec
-}
-
-func popcount(x uint) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
 }

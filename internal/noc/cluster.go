@@ -55,14 +55,77 @@ func (s Split) ClusterOf(core arch.CoreID) Cluster {
 }
 
 // Member returns the containment predicate for a cluster, in coordinates.
+// Building the closure allocates; hot paths use Contains/ContainsOrder
+// instead.
 func (s Split) Member(c Cluster) func(arch.Coord) bool {
-	return func(at arch.Coord) bool {
-		if at.X < 0 || at.X >= s.W || at.Y < 0 || at.Y >= s.H {
-			return false
-		}
-		idx := at.Y*s.W + at.X
-		return (Cluster(boolToInt(idx < s.SecureCores)) == c)
+	return func(at arch.Coord) bool { return s.Contains(at, c) }
+}
+
+// Contains reports whether router at belongs to cluster c — the
+// allocation-free form of Member(c)(at).
+func (s Split) Contains(at arch.Coord, c Cluster) bool {
+	if at.X < 0 || at.X >= s.W || at.Y < 0 || at.Y >= s.H {
+		return false
 	}
+	idx := at.Y*s.W + at.X
+	return (Cluster(boolToInt(idx < s.SecureCores)) == c)
+}
+
+// Because the split is a contiguous row-major prefix, a router's cluster
+// is monotone in its row-major index: everything below SecureCores is
+// secure, everything at or above it insecure. A straight mesh segment is
+// therefore entirely inside a cluster iff its extreme-index endpoint is,
+// which makes path containment a closed-form check — no path needs to be
+// materialized.
+
+// rowIn reports whether the row-y segment spanning columns [x0, x1] (any
+// order) lies entirely in cluster c.
+func (s Split) rowIn(y, x0, x1 int, c Cluster) bool {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if c == SecureCluster {
+		return y*s.W+x1 < s.SecureCores
+	}
+	return y*s.W+x0 >= s.SecureCores
+}
+
+// colIn reports whether the column-x segment spanning rows [y0, y1] (any
+// order) lies entirely in cluster c.
+func (s Split) colIn(x, y0, y1 int, c Cluster) bool {
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	if c == SecureCluster {
+		return y1*s.W+x < s.SecureCores
+	}
+	return y0*s.W+x >= s.SecureCores
+}
+
+// ContainsOrder reports whether the dimension-ordered path from src to dst
+// under order o stays entirely inside cluster c. It is the closed-form
+// equivalent of Contained(Path(src, dst, o), Member(c)) for in-mesh
+// endpoints, and allocates nothing.
+func (s Split) ContainsOrder(src, dst arch.Coord, c Cluster, o Order) bool {
+	if o == XY {
+		return s.rowIn(src.Y, src.X, dst.X, c) && s.colIn(dst.X, src.Y, dst.Y, c)
+	}
+	return s.colIn(src.X, src.Y, dst.Y, c) && s.rowIn(dst.Y, src.X, dst.X, c)
+}
+
+// ChooseOrder picks the deterministic ordering that keeps an
+// intra-cluster packet inside cluster c — X-Y if contained, else Y-X if
+// contained — without materializing either path. ok is false when neither
+// order is contained (the ErrNoContainedRoute case of Route); the caller
+// then falls back to plain X-Y, exactly as the materialized chooser does.
+func (s Split) ChooseOrder(src, dst arch.Coord, c Cluster) (order Order, ok bool) {
+	if s.ContainsOrder(src, dst, c, XY) {
+		return XY, true
+	}
+	if s.ContainsOrder(src, dst, c, YX) {
+		return YX, true
+	}
+	return XY, false
 }
 
 // Cores lists the cores of a cluster in ascending order.

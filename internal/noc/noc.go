@@ -9,6 +9,14 @@
 // the whole path inside the source cluster (Section III-B2). This package
 // implements both orders, containment checking, and the route chooser, and
 // exposes per-link traffic counters used by the evaluation.
+//
+// Two equivalent APIs exist side by side. The slice-returning Path/Route
+// functions materialize routes coordinate by coordinate; tests and the
+// attack oracle use them. The analytic API (Dist, Mesh.LatencyBetween,
+// Mesh.RecordRoute, Split.ChooseOrder) computes the same latencies, link
+// charges, and containment decisions in O(1) space — the simulator's
+// access hot path runs entirely on it, allocation-free. The equivalence
+// tests prove the two produce byte-identical results for every route.
 package noc
 
 import (
@@ -35,12 +43,57 @@ func (o Order) String() string {
 	return "Y-X"
 }
 
-// Mesh is a W x H grid of routers with per-link traffic accounting.
+// Directed-link directions out of a router. Every router owns four
+// outgoing links (whether or not a neighbor exists on that side — edge
+// links simply never carry traffic), so the dense link index of
+// (router, direction) is router*linkDirs + direction.
+const (
+	dirEast  = iota // +X
+	dirWest         // -X
+	dirSouth        // +Y
+	dirNorth        // -Y
+	linkDirs
+)
+
+// dirOf returns the direction of the unit step from a to b, or -1 if the
+// routers are not mesh neighbors.
+func dirOf(a, b arch.Coord) int {
+	switch {
+	case b.Y == a.Y && b.X == a.X+1:
+		return dirEast
+	case b.Y == a.Y && b.X == a.X-1:
+		return dirWest
+	case b.X == a.X && b.Y == a.Y+1:
+		return dirSouth
+	case b.X == a.X && b.Y == a.Y-1:
+		return dirNorth
+	}
+	return -1
+}
+
+// neighbor returns the router one step from at in direction dir.
+func neighbor(at arch.Coord, dir int) arch.Coord {
+	switch dir {
+	case dirEast:
+		return arch.Coord{X: at.X + 1, Y: at.Y}
+	case dirWest:
+		return arch.Coord{X: at.X - 1, Y: at.Y}
+	case dirSouth:
+		return arch.Coord{X: at.X, Y: at.Y + 1}
+	default:
+		return arch.Coord{X: at.X, Y: at.Y - 1}
+	}
+}
+
+// Mesh is a W x H grid of routers with per-link traffic accounting. The
+// counters live in a flat [W*H*linkDirs]int64 array indexed by the dense
+// directed-link index, so charging a link is one add with no hashing and
+// no allocation.
 type Mesh struct {
 	W, H      int
 	hopLat    int64
 	routerLat int64
-	traffic   map[[2]arch.Coord]int64 // directed link -> flits
+	traffic   []int64 // dense directed-link index -> flits
 }
 
 // New builds a mesh from the machine configuration.
@@ -50,14 +103,20 @@ func New(cfg arch.Config) *Mesh {
 		H:         cfg.MeshHeight,
 		hopLat:    cfg.HopLat,
 		routerLat: cfg.RouterLat,
-		traffic:   make(map[[2]arch.Coord]int64),
+		traffic:   make([]int64, cfg.MeshWidth*cfg.MeshHeight*linkDirs),
 	}
+}
+
+// Dist returns the Manhattan distance between two routers — the number of
+// links any dimension-ordered path between them crosses.
+func Dist(src, dst arch.Coord) int {
+	return arch.Abs(dst.X-src.X) + arch.Abs(dst.Y-src.Y)
 }
 
 // Path computes the deterministic dimension-ordered path from src to dst
 // (inclusive of both endpoints) under the given ordering.
 func Path(src, dst arch.Coord, order Order) []arch.Coord {
-	path := make([]arch.Coord, 0, abs(dst.X-src.X)+abs(dst.Y-src.Y)+1)
+	path := make([]arch.Coord, 0, Dist(src, dst)+1)
 	at := src
 	path = append(path, at)
 	stepX := func() {
@@ -129,16 +188,87 @@ func (m *Mesh) Latency(path []arch.Coord) int64 {
 	return m.routerLat + int64(len(path)-1)*m.hopLat
 }
 
-// Record charges the path's links with one flit of traffic.
+// LatencyBetween returns the traversal cycles between two routers without
+// materializing the path: a dimension-ordered path always crosses exactly
+// Dist(src, dst) links, so the latency is closed-form and identical for
+// both orderings.
+func (m *Mesh) LatencyBetween(src, dst arch.Coord) int64 {
+	d := Dist(src, dst)
+	if d == 0 {
+		return m.routerLat
+	}
+	return m.routerLat + int64(d)*m.hopLat
+}
+
+// Record charges the path's links with one flit of traffic. Successive
+// path elements must be mesh neighbors (every dimension-ordered path is).
 func (m *Mesh) Record(path []arch.Coord) {
 	for i := 0; i+1 < len(path); i++ {
-		m.traffic[[2]arch.Coord{path[i], path[i+1]}]++
+		m.charge(path[i], dirOf(path[i], path[i+1]))
 	}
 }
 
+// RecordRoute charges the links of the dimension-ordered route from src
+// to dst under the given ordering, walking the coordinates inline. It is
+// the allocation-free equivalent of Record(Path(src, dst, order)).
+func (m *Mesh) RecordRoute(src, dst arch.Coord, order Order) {
+	at := src
+	if order == XY {
+		at = m.chargeRow(at, dst.X)
+		m.chargeCol(at, dst.Y)
+	} else {
+		at = m.chargeCol(at, dst.Y)
+		m.chargeRow(at, dst.X)
+	}
+}
+
+// chargeRow charges the horizontal links from at to (toX, at.Y) and
+// returns the corner router.
+func (m *Mesh) chargeRow(at arch.Coord, toX int) arch.Coord {
+	dir, step := dirEast, 1
+	if toX < at.X {
+		dir, step = dirWest, -1
+	}
+	for at.X != toX {
+		m.traffic[(at.Y*m.W+at.X)*linkDirs+dir]++
+		at.X += step
+	}
+	return at
+}
+
+// chargeCol charges the vertical links from at to (at.X, toY) and returns
+// the corner router.
+func (m *Mesh) chargeCol(at arch.Coord, toY int) arch.Coord {
+	dir, step := dirSouth, 1
+	if toY < at.Y {
+		dir, step = dirNorth, -1
+	}
+	for at.Y != toY {
+		m.traffic[(at.Y*m.W+at.X)*linkDirs+dir]++
+		at.Y += step
+	}
+	return at
+}
+
+// charge adds one flit to the directed link leaving from in direction dir.
+func (m *Mesh) charge(from arch.Coord, dir int) {
+	if dir < 0 {
+		panic(fmt.Sprintf("noc: link from %v is not a unit mesh step", from))
+	}
+	m.traffic[(from.Y*m.W+from.X)*linkDirs+dir]++
+}
+
 // LinkTraffic reports the flits recorded on the directed link a->b.
+// Non-adjacent router pairs carry no link and report zero.
 func (m *Mesh) LinkTraffic(a, b arch.Coord) int64 {
-	return m.traffic[[2]arch.Coord{a, b}]
+	if a.X < 0 || a.X >= m.W || a.Y < 0 || a.Y >= m.H {
+		return 0
+	}
+	dir := dirOf(a, b)
+	if dir < 0 {
+		return 0
+	}
+	return m.traffic[(a.Y*m.W+a.X)*linkDirs+dir]
 }
 
 // TotalTraffic sums flits over all links.
@@ -150,13 +280,17 @@ func (m *Mesh) TotalTraffic() int64 {
 	return t
 }
 
-// TrafficThrough sums flits entering routers that fail member — i.e.,
+// TrafficThrough sums flits on links whose endpoints fail member — i.e.,
 // traffic that drifted outside a cluster. The strong-isolation tests
 // assert this is zero for intra-cluster traffic.
 func (m *Mesh) TrafficThrough(member func(arch.Coord) bool) int64 {
 	var t int64
-	for link, n := range m.traffic {
-		if !member(link[0]) || !member(link[1]) {
+	for i, n := range m.traffic {
+		if n == 0 {
+			continue
+		}
+		from := arch.Coord{X: (i / linkDirs) % m.W, Y: i / linkDirs / m.W}
+		if !member(from) || !member(neighbor(from, i%linkDirs)) {
 			t += n
 		}
 	}
@@ -164,14 +298,7 @@ func (m *Mesh) TrafficThrough(member func(arch.Coord) bool) int64 {
 }
 
 // ResetTraffic clears the link counters.
-func (m *Mesh) ResetTraffic() { m.traffic = make(map[[2]arch.Coord]int64) }
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
+func (m *Mesh) ResetTraffic() { clear(m.traffic) }
 
 func sign(x int) int {
 	switch {

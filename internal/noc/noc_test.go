@@ -46,8 +46,7 @@ func TestPathEndpointsAndLength(t *testing.T) {
 			ord = YX
 		}
 		p := Path(src, dst, ord)
-		manhattan := abs(dst.X-src.X) + abs(dst.Y-src.Y)
-		return p[0] == src && p[len(p)-1] == dst && len(p) == manhattan+1
+		return p[0] == src && p[len(p)-1] == dst && len(p) == Dist(src, dst)+1
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

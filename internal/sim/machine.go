@@ -55,8 +55,42 @@ type Machine struct {
 	split           noc.Split
 	routingIsolated bool
 
+	// Route-decision caches for the access hot path, keyed by (split,
+	// src, dst, domain): routeGen stamps entries so SetSplit invalidates
+	// every decision in O(1). routeCache covers core-to-slice routes
+	// (src*cores+dst; the deciding cluster derives from src under the
+	// current split). edgeCache covers slice-to-controller routes, whose
+	// proxy point additionally depends on the owning domain.
+	routeGen   uint64
+	routeCache []routeDecision
+	edgeCache  [2][]edgeDecision
+
+	// materializedRouting forces the slice-materializing reference
+	// implementation of the routing helpers; the equivalence tests run a
+	// reference machine with it to prove the analytic hot path is
+	// byte-identical.
+	materializedRouting bool
+
 	routeViolations int64
 	blockedAccesses int64
+}
+
+// routeDecision is one cached core-to-slice routing choice.
+type routeDecision struct {
+	gen      uint64
+	order    noc.Order
+	violated bool
+}
+
+// edgeDecision is one cached slice-to-controller routing choice: the
+// in-cluster proxy router, the chosen ordering, and the precomputed
+// edge-channel cycles past the proxy.
+type edgeDecision struct {
+	gen      uint64
+	proxy    arch.Coord
+	order    noc.Order
+	edgeLat  int64
+	violated bool
 }
 
 // NewMachine builds a machine from the configuration with every resource
@@ -97,6 +131,11 @@ func NewMachine(cfg arch.Config) (*Machine, error) {
 	m.slices[arch.Insecure] = all
 	m.slices[arch.Secure] = all
 	m.split, _ = noc.NewSplit(0, cfg)
+	m.routeGen = 1
+	m.routeCache = make([]routeDecision, n*n)
+	for d := range m.edgeCache {
+		m.edgeCache[d] = make([]edgeDecision, n*cfg.MemControllers)
+	}
 	return m, nil
 }
 
@@ -140,10 +179,12 @@ func (m *Machine) MC(i mem.ControllerID) *mem.Controller { return m.mcs[i] }
 func (m *Machine) Split() noc.Split { return m.split }
 
 // SetSplit installs a cluster split; isolate enables IRONHIDE's
-// intra-cluster routing containment for every subsequent access.
+// intra-cluster routing containment for every subsequent access. Bumping
+// the generation stamp invalidates every cached route decision.
 func (m *Machine) SetSplit(s noc.Split, isolate bool) {
 	m.split = s
 	m.routingIsolated = isolate
+	m.routeGen++
 }
 
 // SetHomePolicy installs the homing policy a domain allocates pages with.
@@ -217,17 +258,17 @@ func (m *Machine) Access(core arch.CoreID, addr arch.Addr, write bool, d arch.Do
 
 	lat += m.Cfg.L2HitLat
 	r2 := m.l2.Slice(pg.home).Access(addr, write, d)
+	mcID := m.Part.ControllerOf(pg.region)
 	if r2.WroteBack {
 		// Dirty L2 victim drains to memory off the critical path, but it
 		// occupies the controller queue (purges must later drain it).
-		m.mcs[m.Part.ControllerOf(pg.region)].Access(now+lat, true)
+		m.mcs[mcID].Access(now+lat, true)
 	}
 	if r2.Hit {
 		return lat
 	}
 
 	// L2 miss: continue to the region's memory controller.
-	mcID := m.Part.ControllerOf(pg.region)
 	lat += 2 * m.edgeRouteLat(dst, mcID, pg.domain)
 	lat += m.mcs[mcID].Access(now+lat, false)
 	return lat
@@ -237,7 +278,33 @@ func (m *Machine) Access(core arch.CoreID, addr arch.Addr, write bool, d arch.Do
 // When routing isolation is active and both endpoints belong to the same
 // cluster, the bidirectional X-Y/Y-X chooser keeps the path contained;
 // cross-cluster packets (accessor domain != page domain) use plain X-Y.
+// The decision comes from the route cache; latency and link charging are
+// analytic, so the steady-state path allocates nothing.
 func (m *Machine) routeLat(src, dst arch.Coord, accessor, owner arch.Domain) int64 {
+	if m.materializedRouting {
+		return m.routeLatMaterialized(src, dst, accessor, owner)
+	}
+	order := noc.XY
+	if m.routingIsolated && accessor == owner {
+		idx := int(m.Cfg.CoreAt(src))*m.Cfg.Cores() + int(m.Cfg.CoreAt(dst))
+		e := &m.routeCache[idx]
+		if e.gen != m.routeGen {
+			cl := m.split.ClusterOf(m.Cfg.CoreAt(src))
+			ord, ok := m.split.ChooseOrder(src, dst, cl)
+			*e = routeDecision{gen: m.routeGen, order: ord, violated: !ok}
+		}
+		order = e.order
+		if e.violated {
+			m.routeViolations++
+		}
+	}
+	m.Mesh.RecordRoute(src, dst, order)
+	return m.Mesh.LatencyBetween(src, dst)
+}
+
+// routeLatMaterialized is the slice-materializing reference for routeLat,
+// kept verbatim for the analytic-equivalence tests.
+func (m *Machine) routeLatMaterialized(src, dst arch.Coord, accessor, owner arch.Domain) int64 {
 	var path []arch.Coord
 	if m.routingIsolated && accessor == owner {
 		cl := m.split.ClusterOf(m.Cfg.CoreAt(src))
@@ -257,8 +324,54 @@ func (m *Machine) routeLat(src, dst arch.Coord, accessor, owner arch.Domain) int
 // edgeRouteLat computes one-way latency from an L2 slice to a memory
 // controller. The on-mesh segment runs to the cluster's own edge row (so
 // it never crosses the cluster boundary); the remainder travels on the
-// controller's dedicated edge channel.
+// controller's dedicated edge channel. The proxy point, ordering, and
+// edge-channel cycles come from the per-domain edge cache.
 func (m *Machine) edgeRouteLat(from arch.Coord, mcID mem.ControllerID, owner arch.Domain) int64 {
+	if m.materializedRouting {
+		return m.edgeRouteLatMaterialized(from, mcID, owner)
+	}
+	idx := int(m.Cfg.CoreAt(from))*len(m.mcs) + int(mcID)
+	e := &m.edgeCache[owner][idx]
+	if e.gen != m.routeGen {
+		*e = m.decideEdgeRoute(from, mcID, owner)
+	}
+	if e.violated {
+		m.routeViolations++
+	}
+	m.Mesh.RecordRoute(from, e.proxy, e.order)
+	return m.Mesh.LatencyBetween(from, e.proxy) + e.edgeLat
+}
+
+// decideEdgeRoute computes one slice-to-controller routing decision under
+// the current split.
+func (m *Machine) decideEdgeRoute(from arch.Coord, mcID mem.ControllerID, owner arch.Domain) edgeDecision {
+	attach := m.mcAttach[mcID]
+	proxy := attach
+	order := noc.XY
+	violated := false
+	if m.routingIsolated {
+		proxy = m.edgeProxy(owner, attach)
+		cl := noc.InsecureCluster
+		if owner == arch.Secure {
+			cl = noc.SecureCluster
+		}
+		var ok bool
+		order, ok = m.split.ChooseOrder(from, proxy, cl)
+		violated = !ok
+	}
+	edgeHops := int64(noc.Dist(attach, proxy) + 1)
+	return edgeDecision{
+		gen:      m.routeGen,
+		proxy:    proxy,
+		order:    order,
+		edgeLat:  edgeHops * m.Cfg.HopLat,
+		violated: violated,
+	}
+}
+
+// edgeRouteLatMaterialized is the slice-materializing reference for
+// edgeRouteLat, kept verbatim for the analytic-equivalence tests.
+func (m *Machine) edgeRouteLatMaterialized(from arch.Coord, mcID mem.ControllerID, owner arch.Domain) int64 {
 	attach := m.mcAttach[mcID]
 	proxy := attach
 	if m.routingIsolated {
@@ -280,7 +393,7 @@ func (m *Machine) edgeRouteLat(from arch.Coord, mcID mem.ControllerID, owner arc
 		path = noc.Path(from, proxy, noc.XY)
 	}
 	m.Mesh.Record(path)
-	edgeHops := int64(absInt(attach.X-proxy.X) + absInt(attach.Y-proxy.Y) + 1)
+	edgeHops := int64(noc.Dist(attach, proxy) + 1)
 	return m.Mesh.Latency(path) + edgeHops*m.Cfg.HopLat
 }
 
@@ -317,11 +430,4 @@ func (m *Machine) edgeProxy(owner arch.Domain, attach arch.Coord) arch.Coord {
 		x = minX
 	}
 	return arch.Coord{X: x, Y: lastRow}
-}
-
-func absInt(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
