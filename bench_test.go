@@ -122,6 +122,76 @@ func BenchmarkAccessHotPath(b *testing.B) {
 	})
 }
 
+// BenchmarkSearchProbe measures one heuristic binding-search probe — the
+// operation the gradient heuristic runs ~10 times and the Optimal oracle
+// 63 times per application — live (fresh app instance + full payload
+// execution) versus replayed from a shared capture. The replay/live ratio
+// is the record-once/replay-many speedup; the capture sub-benchmark costs
+// the one-time recording itself.
+func BenchmarkSearchProbe(b *testing.B) {
+	cfg := arch.TileGx72()
+	entry, ok := apps.ByName("<AES, QUERY>")
+	if !ok {
+		b.Fatal("catalog missing app")
+	}
+	opts := driver.Options{Scale: 0.2}
+	const candidate = 24
+	b.Run("live", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := driver.Profile(cfg, core.New(32), entry.Factory, opts, candidate); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("capture", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := driver.CaptureTrace(cfg, entry.Factory, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		tr, err := driver.CaptureTrace(cfg, entry.Factory, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the one-time decode cache; probes share it.
+		if _, err := driver.ProfileTrace(cfg, core.New(32), tr, opts, candidate); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := driver.ProfileTrace(cfg, core.New(32), tr, opts, candidate); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOptimalOracle times a full end-to-end Optimal-oracle run —
+// exhaustive search plus the measured run — with live payload probes
+// versus replayed ones. Chosen bindings and Results are identical (gated
+// by TestOptimalReplayMatchesLive); only the wall clock differs.
+func BenchmarkOptimalOracle(b *testing.B) {
+	cfg := arch.TileGx72()
+	entry, ok := apps.ByName("<AES, QUERY>")
+	if !ok {
+		b.Fatal("catalog missing app")
+	}
+	run := func(b *testing.B, noReplay bool) {
+		for i := 0; i < b.N; i++ {
+			res, err := driver.Run(cfg, core.New(32), entry.Factory,
+				driver.Options{Scale: 0.1, Optimal: true, OptimalStride: 4, NoReplay: noReplay, Seed: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.SecureCores), "chosen-binding")
+		}
+	}
+	b.Run("live", func(b *testing.B) { run(b, true) })
+	b.Run("replay", func(b *testing.B) { run(b, false) })
+}
+
 func BenchmarkFig1a(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ironhide
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAccessHotPath/l1-hit-8         	26427022	        44.71 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSearchProbe/replay-8           	     201	   5850348 ns/op
+BenchmarkOptimalOracle/live-8           	       1	8082080944 ns/op	        37.00 chosen-binding
+BenchmarkTable1Machine	       2	 503097495 ns/op	        34.30 cycles/access
+PASS
+ok  	ironhide	42.161s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "ironhide" || rep.CPU == "" {
+		t.Fatalf("metadata wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	hot := rep.Benchmarks[0]
+	if hot.Name != "BenchmarkAccessHotPath/l1-hit" || hot.Procs != 8 || hot.Iterations != 26427022 {
+		t.Fatalf("hot path line wrong: %+v", hot)
+	}
+	if hot.Metrics["ns/op"] != 44.71 || hot.Metrics["allocs/op"] != 0 {
+		t.Fatalf("hot path metrics wrong: %+v", hot.Metrics)
+	}
+	oracle := rep.Benchmarks[2]
+	if oracle.Metrics["chosen-binding"] != 37 {
+		t.Fatalf("custom metric lost: %+v", oracle.Metrics)
+	}
+	// No -procs suffix on the last line (GOMAXPROCS=1 runs omit it).
+	if rep.Benchmarks[3].Name != "BenchmarkTable1Machine" || rep.Benchmarks[3].Procs != 0 {
+		t.Fatalf("suffix-free name wrong: %+v", rep.Benchmarks[3])
+	}
+	if rep.Benchmarks[3].Metrics["cycles/access"] != 34.3 {
+		t.Fatalf("metric wrong: %+v", rep.Benchmarks[3].Metrics)
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 0},
+		{"BenchmarkFoo/l1-hit-16", "BenchmarkFoo/l1-hit", 16},
+		{"BenchmarkFoo/l1-hit", "BenchmarkFoo/l1-hit", 0},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Fatalf("splitProcs(%q) = %q,%d want %q,%d", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

@@ -19,10 +19,15 @@
 //
 // Every experiment is a job grid executed on -parallel workers (default:
 // all host cores) with deterministic per-job seeds, so any worker count
-// emits identical reports. -format selects the emitter; -out writes one
-// file per experiment report (<name>.txt/.csv/.json) instead of stdout.
-// -cpuprofile writes a pprof CPU profile of the run for the performance
-// workflow documented in the README.
+// emits identical reports. Grids record each application once and replay
+// the captured operation stream across the model axis and the binding
+// searches (-no-replay restores live payload execution; results are
+// identical either way), and each exhaustive Optimal search can probe
+// candidates on -search-workers concurrent workers. -format selects the
+// emitter; -out writes one file per experiment report
+// (<name>.txt/.csv/.json) instead of stdout. -cpuprofile writes a pprof
+// CPU profile of the run for the performance workflow documented in the
+// README.
 package main
 
 import (
@@ -53,6 +58,8 @@ func main() {
 	appsFlag := flag.String("apps", "", "comma-separated application aliases, e.g. \"aes-query,memcached-os\" (default: all nine)")
 	trials := flag.Int("trials", 96, "covert-channel trials for the attack experiment")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the job grids (1 = sequential; results are identical at any count)")
+	searchWorkers := flag.Int("search-workers", 1, "worker count for each exhaustive Optimal binding search (1 = sequential; results are identical at any count)")
+	noReplay := flag.Bool("no-replay", false, "execute the live payload for every probe and cell instead of sharing record-once/replay-many traces (slower; results are identical)")
 	format := flag.String("format", "text", "report format: text, csv or json")
 	outDir := flag.String("out", "", "write one <experiment>.<ext> file per report into this directory instead of stdout")
 	seed := flag.Int64("seed", 42, "base seed for deterministic runs and the covert-channel secret")
@@ -73,7 +80,10 @@ func main() {
 	}
 
 	cfg := arch.TileGx72Scaled(*dilation)
-	ec := experiments.Config{Scale: *scale, Stride: *stride, Parallel: *parallel, BaseSeed: *seed}
+	ec := experiments.Config{
+		Scale: *scale, Stride: *stride, Parallel: *parallel, BaseSeed: *seed,
+		SearchWorkers: *searchWorkers, NoReplay: *noReplay,
+	}
 	if *appsFlag != "" {
 		for _, name := range strings.Split(*appsFlag, ",") {
 			entry, ok := apps.ByName(strings.TrimSpace(name))

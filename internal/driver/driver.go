@@ -27,6 +27,7 @@ import (
 	"ironhide/internal/kernel"
 	"ironhide/internal/noc"
 	"ironhide/internal/sim"
+	"ironhide/internal/trace"
 	"ironhide/internal/workload"
 )
 
@@ -61,6 +62,15 @@ type Options struct {
 	// The parallel runner assigns per-job seeds from grid position so a
 	// sweep yields identical results at any worker count.
 	Seed int64
+	// NoReplay forces live payload execution for every probe and run,
+	// disabling the record-once/replay-many acceleration. Replayed runs
+	// are byte-identical to live ones (the equivalence tests gate it), so
+	// this exists for benchmarking the speedup and for debugging.
+	NoReplay bool
+	// SearchWorkers bounds the worker pool the exhaustive Optimal search
+	// evaluates candidate bindings on (<= 1 sequential). Probes run on
+	// fresh machines and results are deterministic at any worker count.
+	SearchWorkers int
 }
 
 func (o Options) scale() float64 {
@@ -68,6 +78,13 @@ func (o Options) scale() float64 {
 		return 1
 	}
 	return o.Scale
+}
+
+func (o Options) searchWorkers() int {
+	if o.SearchWorkers <= 1 {
+		return 1
+	}
+	return o.SearchWorkers
 }
 
 // Result is the outcome of one (app, model) run.
@@ -114,16 +131,101 @@ func (r *Result) L2MissRate() float64 {
 	return float64(r.L2Misses) / float64(r.L2Accesses)
 }
 
+// appSource yields fresh, already-scaled application instances: live ones
+// built by the factory, or payload-free replays of a captured trace.
+// Profiling probes and the measured run must not share warmed state, so
+// every consumer takes a fresh instance.
+type appSource interface {
+	fresh() *workload.App
+}
+
+// liveSource builds real application instances and scales them.
+type liveSource struct {
+	factory AppFactory
+	scale   float64
+}
+
+func (s liveSource) fresh() *workload.App { return s.factory().Scaled(s.scale) }
+
+// traceSource builds replay applications over one shared capture.
+type traceSource struct {
+	tr *trace.Trace
+}
+
+func (s traceSource) fresh() *workload.App { return s.tr.NewApp() }
+
 // Run executes the application under the model and returns the result.
+//
+// Spatial runs that search for a cluster binding record the application
+// once and replay the captured operation stream for every heuristic or
+// Optimal probe and for the measured run — the payload (graph
+// relaxations, neural forward passes, AES rounds) executes exactly once
+// per Run instead of once per probe. Options.NoReplay restores the live
+// path.
 func Run(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options) (*Result, error) {
-	probe := factory()
-	if err := probe.Validate(); err != nil {
+	src := appSource(liveSource{factory: factory, scale: opts.scale()})
+	if model.Temporal() {
+		return runTemporal(cfg, model, src, opts)
+	}
+	if opts.FixedSecureCores <= 0 && !opts.NoReplay {
+		tr, err := CaptureTrace(cfg, factory, opts)
+		if err != nil {
+			return nil, err
+		}
+		src = traceSource{tr: tr}
+	}
+	return runSpatial(cfg, model, src, opts)
+}
+
+// RunTrace executes a previously captured trace under the model — the
+// payload-free path grids use to share one capture across the whole
+// (model × options) axis, since the recorded address stream is
+// model-independent. The trace must have been captured at the same
+// Options.Scale.
+func RunTrace(cfg arch.Config, model enclave.Model, tr *trace.Trace, opts Options) (*Result, error) {
+	if tr.Scale != opts.scale() {
+		return nil, fmt.Errorf("driver: trace captured at scale %g cannot replay at scale %g", tr.Scale, opts.scale())
+	}
+	src := traceSource{tr: tr}
+	if model.Temporal() {
+		return runTemporal(cfg, model, src, opts)
+	}
+	return runSpatial(cfg, model, src, opts)
+}
+
+// CaptureTrace records one full execution of the application at
+// opts.Scale: enough rounds for the longest consumer (the measured run or
+// the longest profiling probe), captured on a scratch machine. The
+// recorded stream is independent of the model, the binding, and the gang
+// sizes, so one capture serves every probe and every model.
+func CaptureTrace(cfg arch.Config, factory AppFactory, opts Options) (*trace.Trace, error) {
+	app := factory().Scaled(opts.scale())
+	if err := app.Validate(); err != nil {
 		return nil, err
 	}
-	if model.Temporal() {
-		return runTemporal(cfg, model, factory, opts)
+	rec := trace.NewRecorder(app, opts.scale())
+	recApp := rec.App(app)
+	m, ring, err := setup(cfg, enclave.Insecure{}, recApp)
+	if err != nil {
+		return nil, err
 	}
-	return runSpatial(cfg, model, factory, opts)
+	rounds := app.Warmup + app.Rounds
+	if pw, pr := profileLen(app); pw+pr > rounds {
+		rounds = pw + pr
+	}
+	sec, ins := clusterCores(m, recApp, cfg.Cores()/2)
+	spatialCompletion(m, ring, recApp, sec, ins, 0, rounds)
+	return rec.Trace(), nil
+}
+
+// profileLen returns the warmup and measured round counts of one
+// profiling probe.
+func profileLen(app *workload.App) (warm, rounds int) {
+	rounds = app.ProfileRounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	return rounds / 4, rounds
 }
 
 // attest admits the secure process with the secure kernel before it may
@@ -216,8 +318,11 @@ func resetStats(m *sim.Machine) {
 }
 
 // runTemporal drives the SGX-like and MI6 models.
-func runTemporal(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options) (*Result, error) {
-	app := factory().Scaled(opts.scale())
+func runTemporal(cfg arch.Config, model enclave.Model, src appSource, opts Options) (*Result, error) {
+	app := src.fresh()
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
 	if model.StrongIsolation() {
 		if _, err := attest(app, opts.Seed); err != nil {
 			return nil, err
@@ -338,23 +443,28 @@ func clusterCores(m *sim.Machine, app *workload.App, secureCores int) (sec, ins 
 	return sec, ins
 }
 
-// Profile measures a candidate binding with a short fresh run; the
+// Profile measures a candidate binding with a short fresh live run; the
 // experiment harness reuses it to share one exhaustive search across
 // Figure 8's fixed-variation runs.
 func Profile(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options, secureCores int) (float64, error) {
-	return profile(cfg, model, factory, opts, secureCores)
+	return profile(cfg, model, liveSource{factory: factory, scale: opts.scale()}, secureCores)
+}
+
+// ProfileTrace measures a candidate binding by replaying a captured trace
+// — the payload-free probe the binding search runs.
+func ProfileTrace(cfg arch.Config, model enclave.Model, tr *trace.Trace, opts Options, secureCores int) (float64, error) {
+	if tr.Scale != opts.scale() {
+		return 0, fmt.Errorf("driver: trace captured at scale %g cannot profile at scale %g", tr.Scale, opts.scale())
+	}
+	return profile(cfg, model, traceSource{tr: tr}, secureCores)
 }
 
 // profile measures a candidate binding with a short fresh run.
-func profile(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options, secureCores int) (float64, error) {
-	app := factory().Scaled(opts.scale())
-	rounds := app.ProfileRounds
-	if rounds <= 0 {
-		rounds = 8
-	}
+func profile(cfg arch.Config, model enclave.Model, src appSource, secureCores int) (float64, error) {
+	app := src.fresh()
+	warm, rounds := profileLen(app)
 	mdl := model
-	if ih, ok := model.(*core.IronHide); ok {
-		_ = ih
+	if _, ok := model.(*core.IronHide); ok {
 		mdl = core.New(secureCores) // configure directly at the candidate
 	}
 	m, ring, err := setup(cfg, mdl, app)
@@ -370,14 +480,16 @@ func profile(cfg arch.Config, model enclave.Model, factory AppFactory, opts Opti
 		m.SetSplit(split, false)
 	}
 	sec, ins := clusterCores(m, app, secureCores)
-	warm := rounds / 4
 	completion, _ := spatialCompletion(m, ring, app, sec, ins, warm, rounds)
 	return float64(completion), nil
 }
 
 // runSpatial drives the insecure baseline and IRONHIDE.
-func runSpatial(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options) (*Result, error) {
-	appProbe := factory()
+func runSpatial(cfg arch.Config, model enclave.Model, src appSource, opts Options) (*Result, error) {
+	app := src.fresh()
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
 	lo, hi := 1, cfg.Cores()-1
 
 	// Choose the binding.
@@ -385,7 +497,7 @@ func runSpatial(cfg arch.Config, model enclave.Model, factory AppFactory, opts O
 	probes := 0
 	waiveOverheads := opts.WaiveReconfig
 	if binding <= 0 {
-		eval := func(k int) (float64, error) { return profile(cfg, model, factory, opts, k) }
+		eval := func(k int) (float64, error) { return profile(cfg, model, src, k) }
 		var hres heuristic.Result
 		var err error
 		if opts.Optimal || opts.Variation != 0 {
@@ -393,7 +505,7 @@ func runSpatial(cfg arch.Config, model enclave.Model, factory AppFactory, opts O
 			if stride <= 0 {
 				stride = 1
 			}
-			hres, err = heuristic.Optimal(lo, hi, stride, eval)
+			hres, err = heuristic.OptimalParallel(lo, hi, stride, opts.searchWorkers(), eval)
 			waiveOverheads = waiveOverheads || opts.Optimal
 		} else {
 			hres, err = heuristic.Gradient(lo, hi, cfg.Cores()/2, cfg.Cores()/4, eval)
@@ -408,13 +520,12 @@ func runSpatial(cfg arch.Config, model enclave.Model, factory AppFactory, opts O
 		}
 	}
 
-	app := factory().Scaled(opts.scale())
 	res := &Result{App: app.String(), Class: app.Class, Model: model.Name(), Rounds: app.Rounds, SearchProbes: probes}
 
 	var m *sim.Machine
 	var ring *ipc.Ring
 	var reconfigCycles int64
-	switch mdl := model.(type) {
+	switch model.(type) {
 	case *core.IronHide:
 		k, err := attest(app, opts.Seed)
 		if err != nil {
@@ -450,7 +561,6 @@ func runSpatial(cfg arch.Config, model enclave.Model, factory AppFactory, opts O
 			return nil, err
 		}
 		m.SetSplit(split, false)
-		_ = mdl
 	}
 
 	sec, ins := clusterCores(m, app, binding)
@@ -470,7 +580,6 @@ func runSpatial(cfg arch.Config, model enclave.Model, factory AppFactory, opts O
 	res.Interactions = interactions
 	res.SecureCores = binding
 	collectStats(m, res)
-	_ = appProbe
 	return res, nil
 }
 

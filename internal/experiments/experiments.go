@@ -28,6 +28,7 @@ import (
 	"ironhide/internal/heuristic"
 	"ironhide/internal/metrics"
 	"ironhide/internal/runner"
+	"ironhide/internal/trace"
 	"ironhide/internal/workload"
 )
 
@@ -45,6 +46,12 @@ type Config struct {
 	Parallel int
 	// BaseSeed anchors the deterministic per-job seeds (default 1).
 	BaseSeed int64
+	// SearchWorkers bounds the worker pool of each exhaustive Optimal
+	// search (<= 1 sequential; results identical at any count).
+	SearchWorkers int
+	// NoReplay disables the shared record-once/replay-many acceleration
+	// and runs every grid cell with live payload execution.
+	NoReplay bool
 }
 
 func (c Config) scale() float64 {
@@ -73,6 +80,30 @@ func (c Config) seed() int64 {
 		return 1
 	}
 	return c.BaseSeed
+}
+
+func (c Config) searchWorkers() int {
+	if c.SearchWorkers <= 1 {
+		return 1
+	}
+	return c.SearchWorkers
+}
+
+// captureAll records each selected application once at the run scale (in
+// parallel across apps) so a grid can share the trace across its model
+// axis. With NoReplay set it returns nils and grids fall back to live
+// payload execution per cell.
+func (c Config) captureAll(cfg arch.Config, entries []apps.Entry) ([]*trace.Trace, error) {
+	if c.NoReplay {
+		return make([]*trace.Trace, len(entries)), nil
+	}
+	return runner.Map(c.workers(), entries, func(i int, entry apps.Entry) (*trace.Trace, error) {
+		tr, err := driver.CaptureTrace(cfg, entry.Factory, driver.Options{Scale: c.scale()})
+		if err != nil {
+			return nil, fmt.Errorf("capture %s: %w", entry.Name, err)
+		}
+		return tr, nil
+	})
 }
 
 func (c Config) runner(cfg arch.Config) *runner.Runner {
@@ -118,6 +149,15 @@ func RunMatrix(cfg arch.Config, ec Config) (*Matrix, error) {
 		mx.Models = append(mx.Models, m.Name())
 	}
 
+	// One capture per application serves the whole model axis: the
+	// recorded address stream is model-independent, so the 4 model cells
+	// (and the binding searches inside them) all replay the same trace.
+	entries := ec.catalog()
+	traces, err := ec.captureAll(cfg, entries)
+	if err != nil {
+		return nil, err
+	}
+
 	type slot struct {
 		entry apps.Entry
 		model string
@@ -125,7 +165,7 @@ func RunMatrix(cfg arch.Config, ec Config) (*Matrix, error) {
 	var jobs []runner.Job
 	var slots []slot
 	factories := driver.ModelFactories()
-	for _, entry := range ec.catalog() {
+	for ei, entry := range entries {
 		mx.Order = append(mx.Order, entry.Name)
 		mx.Cells[entry.Name] = map[string]*Cell{}
 		for mi, factory := range factories {
@@ -133,7 +173,8 @@ func RunMatrix(cfg arch.Config, ec Config) (*Matrix, error) {
 				Key:   entry.Name + "/" + models[mi].Name(),
 				App:   entry.Factory,
 				Model: factory,
-				Opts:  driver.Options{Scale: ec.scale()},
+				Opts:  driver.Options{Scale: ec.scale(), SearchWorkers: ec.searchWorkers(), NoReplay: ec.NoReplay},
+				Trace: traces[ei],
 			})
 			slots = append(slots, slot{entry: entry, model: models[mi].Name()})
 		}
@@ -355,35 +396,57 @@ func BuildFig8(cfg arch.Config, ec Config) (*Fig8Report, error) {
 	measured, err := runner.Map(ec.workers(), entries, func(i int, entry apps.Entry) (fig8Entry, error) {
 		var out fig8Entry
 		opts := func() driver.Options {
-			return driver.Options{Scale: ec.scale(), Seed: ec.seed() + int64(i)}
+			return driver.Options{
+				Scale: ec.scale(), Seed: ec.seed() + int64(i),
+				SearchWorkers: ec.searchWorkers(), NoReplay: ec.NoReplay,
+			}
+		}
+
+		// One capture serves the whole study for this application: the MI6
+		// baseline, the heuristic search, the exhaustive Optimal search,
+		// and every fixed-variation run all replay the same stream.
+		run := func(model enclave.Model, o driver.Options) (*driver.Result, error) {
+			return driver.Run(cfg, model, entry.Factory, o)
+		}
+		eval := func(k int) (float64, error) {
+			return driver.Profile(cfg, core.New(32), entry.Factory, opts(), k)
+		}
+		if !ec.NoReplay {
+			tr, err := driver.CaptureTrace(cfg, entry.Factory, driver.Options{Scale: ec.scale()})
+			if err != nil {
+				return out, err
+			}
+			run = func(model enclave.Model, o driver.Options) (*driver.Result, error) {
+				return driver.RunTrace(cfg, model, tr, o)
+			}
+			eval = func(k int) (float64, error) {
+				return driver.ProfileTrace(cfg, core.New(32), tr, opts(), k)
+			}
 		}
 
 		// MI6 baseline.
-		mi6, err := driver.Run(cfg, enclave.MulticoreMI6{}, entry.Factory, opts())
+		mi6, err := run(enclave.MulticoreMI6{}, opts())
 		if err != nil {
 			return out, err
 		}
 		out.mi6 = float64(mi6.CompletionCycles)
 
 		// Heuristic (the real IRONHIDE flow).
-		h, err := driver.Run(cfg, core.New(32), entry.Factory, opts())
+		h, err := run(core.New(32), opts())
 		if err != nil {
 			return out, err
 		}
 		out.heuristic = float64(h.CompletionCycles)
 
 		// One exhaustive search shared by Optimal and the variations.
-		eval := func(k int) (float64, error) {
-			return driver.Profile(cfg, core.New(32), entry.Factory, opts(), k)
-		}
-		opt, err := heuristic.Optimal(1, cfg.Cores()-1, ec.stride(), eval)
+		opt, err := heuristic.OptimalParallel(1, cfg.Cores()-1, ec.stride(), ec.searchWorkers(), eval)
 		if err != nil {
 			return out, err
 		}
 		oOpts := opts()
 		oOpts.FixedSecureCores = opt.SecureCores
 		oOpts.WaiveReconfig = true
-		o, err := driver.Run(cfg, core.New(32), entry.Factory, oOpts)
+		o, err := run(core.New(32), oOpts)
 		if err != nil {
 			return out, err
 		}
@@ -392,7 +455,7 @@ func BuildFig8(cfg arch.Config, ec Config) (*Fig8Report, error) {
 		for _, v := range variations {
 			vOpts := opts()
 			vOpts.FixedSecureCores = heuristic.Vary(opt.SecureCores, v, cfg.Cores(), 1, cfg.Cores()-1)
-			r, err := driver.Run(cfg, core.New(32), entry.Factory, vOpts)
+			r, err := run(core.New(32), vOpts)
 			if err != nil {
 				return out, err
 			}

@@ -110,7 +110,13 @@ func (s *SSSP) Round(g *sim.Group, round int) {
 		frontier = append(frontier, s.g.Edges[e])
 	}
 	for wave := 0; wave < s.sweeps; wave++ {
-		next := make([][]int32, g.Threads())
+		// Collect the next frontier in iteration order. ParFor executes
+		// chunks deterministically in index order whatever the gang size,
+		// so this ordering — unlike per-TID buckets — is invariant to the
+		// cluster binding. The trace replayer depends on that invariance:
+		// one recorded address stream must match live execution at every
+		// candidate gang size.
+		next := make([]int32, 0, len(frontier))
 		g.ParFor(len(frontier), 4, func(c *sim.Ctx, i int) {
 			u := int(frontier[i])
 			c.Read(s.distBuf.Index(u, 4))
@@ -129,14 +135,11 @@ func (s *SSSP) Round(g *sim.Group, round int) {
 				if nd < s.dist[v] {
 					s.dist[v] = nd
 					c.Write(s.distBuf.Index(int(v), 4))
-					next[c.TID] = append(next[c.TID], v)
+					next = append(next, v)
 				}
 			}
 		})
-		frontier = frontier[:0]
-		for _, part := range next {
-			frontier = append(frontier, part...)
-		}
+		frontier = append(frontier[:0], next...)
 		if len(frontier) == 0 {
 			break
 		}

@@ -1,9 +1,12 @@
 package heuristic
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // convex completion curve with minimum at k0.
@@ -117,5 +120,96 @@ func TestOptimalAtLeastAsGoodAsGradient(t *testing.T) {
 	}
 	if o.Completion > g.Completion {
 		t.Fatalf("optimal %f worse than gradient %f", o.Completion, g.Completion)
+	}
+}
+
+// OptimalParallel must be indistinguishable from the sequential oracle at
+// every worker count: same binding, same completion, same probe count —
+// including ties, which break toward the smallest candidate.
+func TestOptimalParallelMatchesSequential(t *testing.T) {
+	evals := map[string]Evaluator{
+		"convex": convex(21),
+		"flat":   func(k int) (float64, error) { return 5, nil }, // all tied
+		"plateau": func(k int) (float64, error) {
+			if k >= 16 && k <= 24 {
+				return 1, nil
+			}
+			return 2, nil
+		},
+	}
+	for name, eval := range evals {
+		seq, err := Optimal(1, 63, 2, eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 7, 64, 200} {
+			par, err := OptimalParallel(1, 63, 2, workers, eval)
+			if err != nil {
+				t.Fatalf("%s/%d workers: %v", name, workers, err)
+			}
+			if par != seq {
+				t.Fatalf("%s/%d workers: %+v != sequential %+v", name, workers, par, seq)
+			}
+		}
+	}
+}
+
+// Concurrent evaluation must report the first failing candidate in range
+// order, deterministically, not whichever worker errored first.
+func TestOptimalParallelDeterministicError(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	eval := func(k int) (float64, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		if k >= 10 {
+			return 0, fmt.Errorf("probe %d failed", k)
+		}
+		return float64(k), nil
+	}
+	for _, workers := range []int{1, 8} {
+		_, err := OptimalParallel(1, 63, 1, workers, eval)
+		if err == nil || err.Error() != "probe 10 failed" {
+			t.Fatalf("%d workers: err = %v, want probe 10 failed", workers, err)
+		}
+	}
+	if calls == 0 {
+		t.Fatal("evaluator never ran")
+	}
+}
+
+// The pool must actually run concurrently when asked to — the bounded
+// workers are the whole point for 63-candidate oracle searches.
+func TestOptimalParallelUsesWorkers(t *testing.T) {
+	var mu sync.Mutex
+	inflight, peak := 0, 0
+	eval := func(k int) (float64, error) {
+		mu.Lock()
+		inflight++
+		if inflight > peak {
+			peak = inflight
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		inflight--
+		mu.Unlock()
+		return float64(k), nil
+	}
+	if _, err := OptimalParallel(1, 32, 1, 8, eval); err != nil {
+		t.Fatal(err)
+	}
+	if peak < 2 {
+		t.Fatalf("peak concurrency %d; pool never ran in parallel", peak)
+	}
+	if peak > 8 {
+		t.Fatalf("peak concurrency %d exceeds the 8-worker bound", peak)
+	}
+}
+
+func TestOptimalParallelBadRange(t *testing.T) {
+	if _, err := OptimalParallel(10, 5, 1, 4, convex(7)); err == nil {
+		t.Fatal("bad range accepted")
 	}
 }

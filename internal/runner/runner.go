@@ -16,6 +16,7 @@ import (
 	"ironhide/internal/arch"
 	"ironhide/internal/driver"
 	"ironhide/internal/enclave"
+	"ironhide/internal/trace"
 )
 
 // Job is one cell of an experiment grid: an application factory run under
@@ -32,6 +33,13 @@ type Job struct {
 	// Opts tune the run. If Opts.Seed is zero the Runner assigns a
 	// deterministic seed derived from its BaseSeed and the job's index.
 	Opts driver.Options
+	// Trace, when set, replays this pre-captured workload trace instead of
+	// executing the live payload. The recorded address stream is
+	// model-independent, so a grid captures each application once (at the
+	// job's scale) and shares the trace across its whole model × options
+	// axis; replayed results are byte-identical to live ones. The trace is
+	// read-only during replay and safe to share between concurrent jobs.
+	Trace *trace.Trace
 }
 
 // Result pairs a job with its driver outcome, preserving grid order.
@@ -88,7 +96,13 @@ func (r *Runner) Run(jobs []Job) ([]Result, error) {
 		if opts.Seed == 0 {
 			opts.Seed = r.seedFor(i)
 		}
-		res, err := driver.Run(r.Cfg, job.Model(), job.App, opts)
+		var res *driver.Result
+		var err error
+		if job.Trace != nil {
+			res, err = driver.RunTrace(r.Cfg, job.Model(), job.Trace, opts)
+		} else {
+			res, err = driver.Run(r.Cfg, job.Model(), job.App, opts)
+		}
 		if err != nil {
 			err = fmt.Errorf("job %q: %w", job.Key, err)
 		}

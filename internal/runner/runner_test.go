@@ -166,3 +166,34 @@ func TestRunnerReportsJobFailures(t *testing.T) {
 		}
 	}
 }
+
+// A grid cell replaying a shared capture must measure exactly what the
+// live cell measures — the property that lets one capture serve a whole
+// model axis.
+func TestRunnerSharedTraceMatchesLive(t *testing.T) {
+	cfg := arch.TileGx72()
+	tr, err := driver.CaptureTrace(cfg, tinyApp, driver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveJobs := tinyGrid()
+	replayJobs := tinyGrid()
+	for i := range replayJobs {
+		replayJobs[i].Trace = tr
+	}
+	r := Runner{Cfg: cfg, Workers: 4}
+	live, err := r.Run(liveJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := r.Run(replayJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live {
+		if !reflect.DeepEqual(live[i].Res, replayed[i].Res) {
+			t.Fatalf("job %q diverged under shared trace:\nlive:   %+v\nreplay: %+v",
+				live[i].Job.Key, live[i].Res, replayed[i].Res)
+		}
+	}
+}

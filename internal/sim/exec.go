@@ -7,6 +7,22 @@ import (
 	"ironhide/internal/arch"
 )
 
+// Recorder receives the operation stream of a recorded gang: the memory
+// and compute charges each thread issues plus the structural markers
+// (ParFor chunks, Seq sections, barriers) a replayer needs to redistribute
+// the same stream over a gang of any size. Implementations must be cheap —
+// the hooks sit on the execution hot path.
+type Recorder interface {
+	RecordCompute(n int64)
+	RecordRead(addr arch.Addr)
+	RecordWrite(addr arch.Addr)
+	RecordAtomic(addr arch.Addr)
+	RecordBarrier()
+	RecordParFor()
+	RecordChunk()
+	RecordSeq()
+}
+
 // Ctx is the execution context of one simulated thread: a core binding, a
 // security domain, and a logical cycle clock. Workload kernels perform
 // their real computation on ordinary Go data and charge the model through
@@ -14,6 +30,7 @@ import (
 type Ctx struct {
 	m      *Machine
 	group  *Group
+	rec    Recorder
 	TID    int
 	Core   arch.CoreID
 	Domain arch.Domain
@@ -27,16 +44,38 @@ type Ctx struct {
 func (c *Ctx) Cycles() int64 { return c.cycles }
 
 // Compute charges n cycles of pure computation.
-func (c *Ctx) Compute(n int64) { c.cycles += n }
+func (c *Ctx) Compute(n int64) {
+	if c.rec != nil {
+		c.rec.RecordCompute(n)
+	}
+	c.cycles += n
+}
 
 // Read charges one load of addr.
 func (c *Ctx) Read(addr arch.Addr) {
+	if c.rec != nil {
+		c.rec.RecordRead(addr)
+	}
+	c.read(addr)
+}
+
+// read charges the load without recording (Atomic records itself as one
+// composite operation).
+func (c *Ctx) read(addr arch.Addr) {
 	c.Reads++
 	c.cycles += c.m.Access(c.Core, addr, false, c.Domain, c.cycles)
 }
 
 // Write charges one store to addr.
 func (c *Ctx) Write(addr arch.Addr) {
+	if c.rec != nil {
+		c.rec.RecordWrite(addr)
+	}
+	c.write(addr)
+}
+
+// write charges the store without recording.
+func (c *Ctx) write(addr arch.Addr) {
 	c.Writes++
 	c.cycles += c.m.Access(c.Core, addr, true, c.Domain, c.cycles)
 }
@@ -44,10 +83,15 @@ func (c *Ctx) Write(addr arch.Addr) {
 // Atomic charges one read-modify-write of addr plus the serialization
 // penalty of contending with the group's other threads — the cost that
 // makes barrier- and atomic-heavy kernels (the paper's TC) prefer small
-// clusters.
+// clusters. The contention term scales with the gang executing the
+// operation, so a replayer re-applies it from the replay gang size rather
+// than the recorded one.
 func (c *Ctx) Atomic(addr arch.Addr) {
-	c.Read(addr)
-	c.Write(addr)
+	if c.rec != nil {
+		c.rec.RecordAtomic(addr)
+	}
+	c.read(addr)
+	c.write(addr)
 	if c.group != nil && len(c.group.ctxs) > 1 {
 		c.cycles += int64(len(c.group.ctxs)-1) * c.m.Cfg.AtomicContention
 	}
@@ -61,6 +105,7 @@ type Group struct {
 	Domain arch.Domain
 	ctxs   []*Ctx
 	start  int64
+	rec    Recorder
 }
 
 // NewGroup pins one thread on each of the given cores, all starting their
@@ -74,6 +119,16 @@ func (m *Machine) NewGroup(d arch.Domain, cores []arch.CoreID, start int64) *Gro
 		g.ctxs = append(g.ctxs, &Ctx{m: m, group: g, TID: i, Core: core, Domain: d, cycles: start})
 	}
 	return g
+}
+
+// SetRecorder attaches (or, with nil, detaches) a recorder to the gang
+// and all its threads. While attached, every charge and structural event
+// is reported to it in execution order.
+func (g *Group) SetRecorder(rec Recorder) {
+	g.rec = rec
+	for _, c := range g.ctxs {
+		c.rec = rec
+	}
 }
 
 // Threads returns the gang size.
@@ -100,6 +155,9 @@ func (g *Group) MaxCycles() int64 {
 // clock plus the barrier cost, which grows logarithmically with gang size
 // (a tournament barrier).
 func (g *Group) Barrier() {
+	if g.rec != nil {
+		g.rec.RecordBarrier()
+	}
 	target := g.MaxCycles() + g.BarrierCost()
 	for _, c := range g.ctxs {
 		c.cycles = target
@@ -121,6 +179,9 @@ func (g *Group) BarrierCost() int64 {
 // concurrent execution that keeps runs reproducible. A barrier closes the
 // loop.
 func (g *Group) ParFor(n, chunk int, body func(c *Ctx, i int)) {
+	if g.rec != nil {
+		g.rec.RecordParFor()
+	}
 	if n <= 0 {
 		g.Barrier()
 		return
@@ -131,6 +192,9 @@ func (g *Group) ParFor(n, chunk int, body func(c *Ctx, i int)) {
 	t := len(g.ctxs)
 	nChunks := (n + chunk - 1) / chunk
 	for k := 0; k < nChunks; k++ {
+		if g.rec != nil {
+			g.rec.RecordChunk()
+		}
 		c := g.ctxs[k%t]
 		hi := (k + 1) * chunk
 		if hi > n {
@@ -146,6 +210,9 @@ func (g *Group) ParFor(n, chunk int, body func(c *Ctx, i int)) {
 // Seq executes body on thread 0 alone, then synchronizes the gang — the
 // serial sections of a kernel.
 func (g *Group) Seq(body func(c *Ctx)) {
+	if g.rec != nil {
+		g.rec.RecordSeq()
+	}
 	body(g.ctxs[0])
 	g.Barrier()
 }

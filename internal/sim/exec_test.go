@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"ironhide/internal/arch"
@@ -162,6 +164,113 @@ func TestAtomicContention(t *testing.T) {
 	}
 }
 
+// The trace replayer redistributes recorded chunks by chunk index: chunk
+// k of a ParFor must run on thread k%t at every gang size, in chunk-index
+// order. This pins the exact assignment, not just the per-thread counts.
+func TestParForChunkThreadAssignment(t *testing.T) {
+	m := newTestMachine(t)
+	const n, chunk = 23, 3
+	for _, gang := range []int{1, 2, 4, 7} {
+		ids := make([]arch.CoreID, gang)
+		for i := range ids {
+			ids[i] = arch.CoreID(i)
+		}
+		g := m.NewGroup(arch.Insecure, ids, 0)
+		var orderedItems []int
+		g.ParFor(n, chunk, func(c *Ctx, i int) {
+			k := i / chunk
+			if want := k % gang; c.TID != want {
+				t.Fatalf("gang %d: item %d (chunk %d) ran on thread %d, want %d", gang, i, k, c.TID, want)
+			}
+			orderedItems = append(orderedItems, i)
+		})
+		// Chunks execute in index order regardless of gang size — the
+		// deterministic interleaving replay reproduces.
+		for j := 1; j < len(orderedItems); j++ {
+			if orderedItems[j] != orderedItems[j-1]+1 {
+				t.Fatalf("gang %d: items out of order at %d: %v", gang, j, orderedItems[j-1:j+1])
+			}
+		}
+		if len(orderedItems) != n {
+			t.Fatalf("gang %d: %d items ran, want %d", gang, len(orderedItems), n)
+		}
+	}
+}
+
+// Atomic contention must scale linearly with gang size: the replayer
+// re-applies it from the replay gang, so the formula — (t-1) extra
+// AtomicContention cycles per operation — is a contract, not a detail.
+func TestAtomicContentionScalesWithGangSize(t *testing.T) {
+	costAt := func(gang int) int64 {
+		m := newTestMachine(t)
+		pinToSlice0(m)
+		buf := m.NewSpace("p", arch.Insecure).Alloc("ctr", 4096)
+		ids := make([]arch.CoreID, gang)
+		for i := range ids {
+			ids[i] = arch.CoreID(i)
+		}
+		g := m.NewGroup(arch.Insecure, ids, 0)
+		g.Ctx(0).Atomic(buf.Addr(0))
+		return g.Ctx(0).Cycles()
+	}
+	solo := costAt(1)
+	for _, gang := range []int{2, 3, 8, 16} {
+		m := newTestMachine(t)
+		want := solo + int64(gang-1)*m.Cfg.AtomicContention
+		if got := costAt(gang); got != want {
+			t.Fatalf("gang %d: atomic cost %d, want %d", gang, got, want)
+		}
+	}
+}
+
+// Seq charges only thread 0 before the closing barrier, whatever the gang
+// size — the replayer maps opSeq onto thread 0 unconditionally.
+func TestSeqChargesOnlyThreadZero(t *testing.T) {
+	m := newTestMachine(t)
+	for _, gang := range []int{1, 2, 5} {
+		ids := make([]arch.CoreID, gang)
+		for i := range ids {
+			ids[i] = arch.CoreID(i)
+		}
+		g := m.NewGroup(arch.Insecure, ids, 0)
+		g.Seq(func(c *Ctx) {
+			if c.TID != 0 {
+				t.Fatalf("gang %d: Seq ran on thread %d", gang, c.TID)
+			}
+			c.Compute(700)
+		})
+		want := int64(700) + g.BarrierCost()
+		for tid := 0; tid < gang; tid++ {
+			if got := g.Ctx(tid).Cycles(); got != want {
+				t.Fatalf("gang %d thread %d: %d cycles after Seq, want %d", gang, tid, got, want)
+			}
+		}
+	}
+}
+
+// AdvanceTo is monotone: it never rewinds any clock, and repeated or
+// stale targets are no-ops.
+func TestAdvanceToMonotone(t *testing.T) {
+	m := newTestMachine(t)
+	g := m.NewGroup(arch.Insecure, cores(0, 1, 2), 0)
+	g.Ctx(0).Compute(500)
+	g.Ctx(1).Compute(100)
+	for _, target := range []int64{300, 300, 200, 0} {
+		before := []int64{g.Ctx(0).Cycles(), g.Ctx(1).Cycles(), g.Ctx(2).Cycles()}
+		g.AdvanceTo(target)
+		for tid, b := range before {
+			got := g.Ctx(tid).Cycles()
+			want := b
+			if target > want {
+				want = target
+			}
+			if got != want {
+				t.Fatalf("thread %d at %d after AdvanceTo(%d), want %d", tid, got, target, want)
+			}
+		}
+	}
+}
+
 // Determinism: identical programs on identical fresh machines produce
 // identical cycle counts — the whole evaluation depends on this.
 func TestDeterministicExecution(t *testing.T) {
@@ -185,6 +294,43 @@ func TestDeterministicExecution(t *testing.T) {
 	}
 	if a == 0 {
 		t.Fatal("no work simulated")
+	}
+}
+
+// logRecorder captures the event stream as strings for inspection.
+type logRecorder struct{ events []string }
+
+func (r *logRecorder) RecordCompute(n int64)     { r.events = append(r.events, fmt.Sprintf("compute:%d", n)) }
+func (r *logRecorder) RecordRead(a arch.Addr)    { r.events = append(r.events, fmt.Sprintf("read:%d", a)) }
+func (r *logRecorder) RecordWrite(a arch.Addr)   { r.events = append(r.events, fmt.Sprintf("write:%d", a)) }
+func (r *logRecorder) RecordAtomic(a arch.Addr)  { r.events = append(r.events, fmt.Sprintf("atomic:%d", a)) }
+func (r *logRecorder) RecordBarrier()            { r.events = append(r.events, "barrier") }
+func (r *logRecorder) RecordParFor()             { r.events = append(r.events, "parfor") }
+func (r *logRecorder) RecordChunk()              { r.events = append(r.events, "chunk") }
+func (r *logRecorder) RecordSeq()                { r.events = append(r.events, "seq") }
+
+// The recorder hooks must see every construct exactly once, in execution
+// order, with Atomic as one composite event (not its constituent
+// read+write) and nothing emitted after the recorder detaches.
+func TestRecorderEventStream(t *testing.T) {
+	m := newTestMachine(t)
+	pinToSlice0(m)
+	buf := m.NewSpace("p", arch.Insecure).Alloc("a", 4096)
+	g := m.NewGroup(arch.Insecure, cores(0, 1), 0)
+	rec := &logRecorder{}
+	g.SetRecorder(rec)
+	g.ParFor(3, 2, func(c *Ctx, i int) {
+		c.Read(buf.Addr(i * 64))
+	})
+	g.Seq(func(c *Ctx) { c.Atomic(buf.Addr(0)) })
+	g.SetRecorder(nil)
+	g.ParFor(2, 1, func(c *Ctx, i int) { c.Compute(1) }) // not recorded
+	want := []string{
+		"parfor", "chunk", "read:0", "read:64", "chunk", "read:128", "barrier",
+		"seq", "atomic:0", "barrier",
+	}
+	if !reflect.DeepEqual(rec.events, want) {
+		t.Fatalf("event stream\n got %v\nwant %v", rec.events, want)
 	}
 }
 

@@ -65,6 +65,12 @@ type Machine struct {
 	routeCache []routeDecision
 	edgeCache  [2][]edgeDecision
 
+	// allocHook, when set, observes every AddressSpace.Alloc call (domain,
+	// name, requested bytes) — the trace recorder uses it to capture an
+	// allocation schedule a replayer can re-issue to reproduce the exact
+	// page layout.
+	allocHook func(d arch.Domain, name string, size int)
+
 	// materializedRouting forces the slice-materializing reference
 	// implementation of the routing helpers; the equivalence tests run a
 	// reference machine with it to prove the analytic hot path is
@@ -186,6 +192,10 @@ func (m *Machine) SetSplit(s noc.Split, isolate bool) {
 	m.routingIsolated = isolate
 	m.routeGen++
 }
+
+// SetAllocHook installs (or, with nil, removes) an observer of every
+// AddressSpace.Alloc call on this machine.
+func (m *Machine) SetAllocHook(fn func(d arch.Domain, name string, size int)) { m.allocHook = fn }
 
 // SetHomePolicy installs the homing policy a domain allocates pages with.
 func (m *Machine) SetHomePolicy(d arch.Domain, p cache.HomePolicy) { m.policy[d] = p }

@@ -59,6 +59,9 @@ func (as *AddressSpace) Alloc(name string, size int) Buffer {
 		panic(fmt.Sprintf("sim: Alloc(%q, %d) must be positive", name, size))
 	}
 	m := as.m
+	if m.allocHook != nil {
+		m.allocHook(as.domain, name, size)
+	}
 	ps := m.Cfg.PageSize
 	npages := (size + ps - 1) / ps
 	base := arch.Addr(len(m.pages) * ps)

@@ -1,0 +1,243 @@
+// Package trace records one execution of an interactive application as a
+// compact operation-stream IR and replays it against a fresh machine —
+// the record-once/replay-many engine behind payload-free binding search.
+//
+// The paper's evaluation repeatedly times the *same* application under
+// many cluster bindings: the gradient heuristic probes up to ~10
+// candidates and the Figure 8 Optimal oracle evaluates all 63. The
+// address stream a workload charges is deterministic and independent of
+// both the security model (models move pages between regions and slices
+// but never change which addresses a kernel touches) and the gang sizes
+// (kernels distribute work per ParFor chunk, and chunk contents do not
+// depend on which thread runs them). So the full Go payload — PageRank
+// relaxations, neural forward passes, AES rounds — only needs to execute
+// once per (application, scale). Every subsequent probe replays the
+// recorded stream through sim.Machine.Access on its own fresh machine,
+// reproducing byte-identical timing, cache, and isolation behavior.
+//
+// The IR is a varint-encoded byte stream per (process, round). Memory
+// operations carry zigzag-encoded address deltas; structural markers
+// (ParFor start, chunk boundary, Seq section, barrier) let the replayer
+// redistribute chunks k%t across a gang of any size, exactly as
+// Group.ParFor does live. Atomic operations are recorded as one composite
+// op and re-applied with the *replay* gang's contention term; barrier
+// costs likewise come from the replay gang size.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/sim"
+	"ironhide/internal/workload"
+)
+
+// Opcodes of the operation-stream IR. Operand encodings:
+//
+//	opCompute  uvarint cycle count (consecutive Computes are coalesced)
+//	opRead     zigzag varint delta from the previous operand address
+//	opWrite    zigzag varint address delta
+//	opAtomic   zigzag varint address delta (replayed as Ctx.Atomic)
+//	opBarrier  none — replayed as Group.Barrier (cost from replay gang)
+//	opParFor   none — resets the chunk counter of the k%t distribution
+//	opChunk    none — advances the chunk counter; ops that follow run on
+//	           thread chunk%t of the replay gang
+//	opSeq      none — ops that follow run on thread 0
+const (
+	opCompute byte = iota
+	opRead
+	opWrite
+	opAtomic
+	opBarrier
+	opParFor
+	opChunk
+	opSeq
+)
+
+// Alloc is one recorded AddressSpace.Alloc call. Re-issuing the schedule
+// in order reproduces the exact page table of the recorded run, because
+// page placement depends only on the allocation order, sizes, and the
+// owning domains.
+type Alloc struct {
+	Name string
+	Size int
+}
+
+// Proc is the recorded half of an application: one process's allocation
+// schedule and its per-round operation streams.
+type Proc struct {
+	Name    string
+	Threads int
+	Allocs  []Alloc
+	Rounds  [][]byte
+
+	// decoded is the flat replay form of Rounds, built once on first
+	// replay: parallel opcode/argument arrays with absolute addresses.
+	// Probes replay a trace many times (up to 63 for the Optimal oracle,
+	// concurrently under a worker pool), so the varint decode cost is paid
+	// once, not per probe.
+	decodeOnce sync.Once
+	decoded    []decodedRound
+}
+
+// decodedRound holds one round's stream as parallel arrays: ops[j] is the
+// opcode, args[j] its operand (absolute address for memory ops, cycle
+// count for computes, unused for markers).
+type decodedRound struct {
+	ops  []byte
+	args []int64
+}
+
+// round returns the decoded form of one round, building the cache on
+// first use (safe for concurrent replays).
+func (p *Proc) round(r int) *decodedRound {
+	p.decodeOnce.Do(p.decodeAll)
+	return &p.decoded[r]
+}
+
+func (p *Proc) decodeAll() {
+	p.decoded = make([]decodedRound, len(p.Rounds))
+	for r, stream := range p.Rounds {
+		d := &p.decoded[r]
+		var prev int64
+		i := 0
+		for i < len(stream) {
+			code := stream[i]
+			i++
+			var arg int64
+			switch code {
+			case opCompute:
+				u, w := binary.Uvarint(stream[i:])
+				if w <= 0 {
+					panic(fmt.Sprintf("trace: truncated operand for %s round %d at %d", p.Name, r, i))
+				}
+				i += w
+				arg = int64(u)
+			case opRead, opWrite, opAtomic:
+				v, w := binary.Varint(stream[i:])
+				if w <= 0 {
+					panic(fmt.Sprintf("trace: truncated operand for %s round %d at %d", p.Name, r, i))
+				}
+				i += w
+				prev += v
+				arg = prev
+			case opBarrier, opParFor, opChunk, opSeq:
+				// markers carry no operand
+			default:
+				panic(fmt.Sprintf("trace: corrupt stream for %s round %d: opcode %d at %d", p.Name, r, code, i-1))
+			}
+			d.ops = append(d.ops, code)
+			d.args = append(d.args, arg)
+		}
+	}
+}
+
+// Bytes returns the encoded size of the process's operation streams.
+func (p *Proc) Bytes() int {
+	n := 0
+	for _, r := range p.Rounds {
+		n += len(r)
+	}
+	return n
+}
+
+// Trace is one recorded execution of an application at one scale. It
+// carries everything needed to rebuild an equivalent workload.App whose
+// processes replay the streams instead of executing the payload.
+type Trace struct {
+	App   string
+	Class workload.Class
+	Scale float64 // the Options.Scale the capture ran at
+
+	Rounds        int // measured rounds of the scaled app
+	Warmup        int
+	ProfileRounds int
+	PayloadBytes  int
+	ReplyBytes    int
+
+	Ins, Sec Proc
+}
+
+// Captured returns the number of recorded interaction rounds.
+func (t *Trace) Captured() int { return len(t.Ins.Rounds) }
+
+// Bytes returns the total encoded size of both operation streams.
+func (t *Trace) Bytes() int { return t.Ins.Bytes() + t.Sec.Bytes() }
+
+// NewApp builds a workload.App whose processes replay the trace. The app
+// carries the recorded metadata (name, class, round counts, payload
+// sizes, thread preferences), so the driver runs it exactly like the
+// live application — through the same pipelines, rings, and models — at
+// a fraction of the cost. Replay processes are stateless reads of the
+// shared Trace, so any number of replay apps may run concurrently.
+func (t *Trace) NewApp() *workload.App {
+	return &workload.App{
+		Name:          t.App,
+		Class:         t.Class,
+		Insecure:      &replayProc{proc: &t.Ins, domain: arch.Insecure},
+		Secure:        &replayProc{proc: &t.Sec, domain: arch.Secure},
+		Rounds:        t.Rounds,
+		Warmup:        t.Warmup,
+		ProfileRounds: t.ProfileRounds,
+		PayloadBytes:  t.PayloadBytes,
+		ReplyBytes:    t.ReplyBytes,
+	}
+}
+
+// replayProc replays one recorded process.
+type replayProc struct {
+	proc   *Proc
+	domain arch.Domain
+}
+
+func (p *replayProc) Name() string        { return p.proc.Name }
+func (p *replayProc) Domain() arch.Domain { return p.domain }
+func (p *replayProc) Threads() int        { return p.proc.Threads }
+
+// Init re-issues the recorded allocation schedule, reproducing the page
+// layout of the recorded run (the replay machine's model then places
+// those pages in its own regions and slices, exactly as it would live).
+func (p *replayProc) Init(m *sim.Machine, space *sim.AddressSpace) {
+	for _, a := range p.proc.Allocs {
+		space.Alloc(a.Name, a.Size)
+	}
+}
+
+// Round charges the recorded stream of interaction round `round` through
+// the gang: chunk k of each ParFor runs on thread k%t of the *replay*
+// gang, Seq sections on thread 0, barriers and atomic contention at the
+// replay gang's cost — byte-identical to executing the payload live on
+// this gang.
+func (p *replayProc) Round(g *sim.Group, round int) {
+	if round >= len(p.proc.Rounds) {
+		panic(fmt.Sprintf("trace: %s replay requested round %d but only %d were captured",
+			p.proc.Name, round, len(p.proc.Rounds)))
+	}
+	d := p.proc.round(round)
+	cur := g.Ctx(0)
+	t := g.Threads()
+	chunk := -1
+	for j, code := range d.ops {
+		switch code {
+		case opCompute:
+			cur.Compute(d.args[j])
+		case opRead:
+			cur.Read(arch.Addr(d.args[j]))
+		case opWrite:
+			cur.Write(arch.Addr(d.args[j]))
+		case opAtomic:
+			cur.Atomic(arch.Addr(d.args[j]))
+		case opBarrier:
+			g.Barrier()
+		case opParFor:
+			chunk = -1
+		case opChunk:
+			chunk++
+			cur = g.Ctx(chunk % t)
+		case opSeq:
+			cur = g.Ctx(0)
+		}
+	}
+}

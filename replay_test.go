@@ -1,0 +1,64 @@
+package ironhide
+
+import (
+	"reflect"
+	"testing"
+
+	"ironhide/internal/apps"
+	"ironhide/internal/arch"
+	"ironhide/internal/driver"
+)
+
+// The record-once/replay-many engine is only admissible if replay is
+// bit-exact: for every application in the catalog, under every model, at
+// several distinct cluster bindings, a run replayed from one shared
+// capture must produce a Result byte-identical to live payload execution
+// — completion cycles, overhead breakdowns, L1/L2 miss counts, route
+// violations, and blocked accesses included. This is the gate that lets
+// the binding search and the experiment grids go payload-free.
+func TestReplayEquivalenceCatalog(t *testing.T) {
+	cfg := arch.TileGx72()
+	const scale = 0.03
+	bindings := []int{12, 32, 52}
+
+	entries := apps.Catalog()
+	if testing.Short() {
+		entries = entries[:3] // one graph app (the hardest), plus vision
+	}
+	for _, entry := range entries {
+		entry := entry
+		t.Run(entry.Alias, func(t *testing.T) {
+			t.Parallel()
+			opts := driver.Options{Scale: scale, Seed: 11}
+			tr, err := driver.CaptureTrace(cfg, entry.Factory, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Captured() == 0 || tr.Bytes() == 0 {
+				t.Fatal("capture recorded nothing")
+			}
+			for _, model := range driver.Models() {
+				for _, binding := range bindings {
+					o := opts
+					o.FixedSecureCores = binding
+					o.NoReplay = true
+					live, err := driver.Run(cfg, model, entry.Factory, o)
+					if err != nil {
+						t.Fatalf("%s/%d live: %v", model.Name(), binding, err)
+					}
+					replayed, err := driver.RunTrace(cfg, model, tr, o)
+					if err != nil {
+						t.Fatalf("%s/%d replay: %v", model.Name(), binding, err)
+					}
+					if !reflect.DeepEqual(live, replayed) {
+						t.Fatalf("%s at %d secure cores: replay diverged\nlive:   %+v\nreplay: %+v",
+							model.Name(), binding, live, replayed)
+					}
+					if live.RouteViolations != 0 {
+						t.Fatalf("%s/%d: %d route violations", model.Name(), binding, live.RouteViolations)
+					}
+				}
+			}
+		})
+	}
+}
