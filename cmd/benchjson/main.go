@@ -1,16 +1,26 @@
 // Command benchjson converts `go test -bench` output into machine-readable
 // JSON so CI can track the performance trajectory across PRs (the
-// bench-smoke job emits BENCH_PR<N>.json artifacts built with it).
+// bench-smoke job emits a BENCH.json artifact built with it), and compares
+// two such JSON files as a hot-path regression gate.
 //
 // Usage:
 //
 //	go test -bench . -benchmem | benchjson [-in file] [-out file]
+//	benchjson -compare old.json new.json [-tolerance 1.5x] [-metrics ns/op,allocs/op]
 //
-// Each benchmark result line becomes one object carrying the benchmark
-// name (GOMAXPROCS suffix split off), the iteration count, and every
-// reported metric — ns/op, B/op, allocs/op, and custom b.ReportMetric
-// series like cycles/access — keyed by unit. Header lines (goos, goarch,
-// pkg, cpu) become top-level metadata.
+// In conversion mode, each benchmark result line becomes one object
+// carrying the benchmark name (GOMAXPROCS suffix split off), the
+// iteration count, and every reported metric — ns/op, B/op, allocs/op,
+// and custom b.ReportMetric series like cycles/access — keyed by unit.
+// Header lines (goos, goarch, pkg, cpu) become top-level metadata.
+//
+// In -compare mode, every benchmark present in both files is checked
+// metric by metric: a new value exceeding tolerance × old is a
+// regression, and any regression makes the exit status nonzero — CI wires
+// this against a committed baseline so a hot-path slowdown fails the
+// build. Wall-clock metrics (ns/op) vary across machines, so the CI gate
+// compares them with a generous tolerance and holds the deterministic
+// allocs/op series to a tight one.
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -44,7 +55,48 @@ type Report struct {
 func main() {
 	in := flag.String("in", "", "benchmark output file (default: stdin)")
 	out := flag.String("out", "", "JSON output file (default: stdout)")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files (old new) and exit nonzero on regression")
+	tolerance := flag.String("tolerance", "1.5x", "regression threshold for -compare: new > tolerance × old fails")
+	metrics := flag.String("metrics", "ns/op,allocs/op", "comma-separated metrics -compare checks")
+	minOld := flag.Float64("min-old", 0, "skip metrics whose baseline value is below this (filters single-iteration timer noise)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() < 2 {
+			fatal(fmt.Errorf("-compare needs two arguments: old.json new.json"))
+		}
+		oldPath, newPath := flag.Arg(0), flag.Arg(1)
+		// flag.Parse stops at the first positional, so re-parse anything
+		// after the two files: `-compare old.json new.json -tolerance 1.5x`.
+		if err := flag.CommandLine.Parse(flag.Args()[2:]); err != nil {
+			fatal(err)
+		}
+		if flag.NArg() != 0 {
+			fatal(fmt.Errorf("unexpected arguments after -compare files: %v", flag.Args()))
+		}
+		tol, err := parseTolerance(*tolerance)
+		if err != nil {
+			fatal(err)
+		}
+		oldRep, err := loadReport(oldPath)
+		if err != nil {
+			fatal(err)
+		}
+		newRep, err := loadReport(newPath)
+		if err != nil {
+			fatal(err)
+		}
+		lines, regressions := Compare(oldRep, newRep, tol, strings.Split(*metrics, ","), *minOld)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if regressions > 0 {
+			fmt.Printf("FAIL: %d regression(s) beyond %.2fx of %s\n", regressions, tol, oldPath)
+			os.Exit(1)
+		}
+		fmt.Printf("ok: no regression beyond %.2fx of %s\n", tol, oldPath)
+		return
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {
@@ -82,6 +134,99 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
+}
+
+// parseTolerance reads a "1.5x" or "1.5" threshold (must be >= 1).
+func parseTolerance(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "x"), 64)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("bad tolerance %q (want e.g. \"1.5x\")", s)
+	}
+	return v, nil
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &Report{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Compare checks every benchmark present in both reports, metric by
+// metric, and returns the rendered comparison plus the regression count.
+// A metric regresses when new > tol × old, or when it grows from zero
+// (a broken zero-allocation guarantee has no finite ratio). A metric
+// whose baseline value is below minOld is skipped: single-iteration
+// wall-clock numbers under ~1ms are timer noise, not signal. Benchmarks
+// present on only one side are reported but never fail the comparison,
+// so adding and renaming benchmarks stays cheap — but a gated metric
+// that vanishes from the new run does fail it, or the gate would pass
+// vacuously when (say) -benchmem is dropped from the bench command.
+func Compare(oldRep, newRep *Report, tol float64, metrics []string, minOld float64) (lines []string, regressions int) {
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, nb := range newRep.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("new   %-40s (no baseline)", nb.Name))
+			continue
+		}
+		for _, m := range metrics {
+			m = strings.TrimSpace(m)
+			ov, oOK := ob.Metrics[m]
+			nv, nOK := nb.Metrics[m]
+			if !oOK {
+				continue // metric is new; nothing to gate against
+			}
+			if !nOK {
+				// A gated metric vanishing (e.g. -benchmem dropped from the
+				// bench command) must not let the gate pass vacuously.
+				lines = append(lines, fmt.Sprintf("FAIL  %-40s %-10s %12.4g → (missing in new run)", nb.Name, m, ov))
+				regressions++
+				continue
+			}
+			if ov < minOld && ov != 0 {
+				lines = append(lines, fmt.Sprintf("skip  %-40s %-10s %12.4g (below -min-old %g)", nb.Name, m, ov, minOld))
+				continue
+			}
+			status := "ok   "
+			switch {
+			case ov == 0 && nv == 0:
+				lines = append(lines, fmt.Sprintf("%s %-40s %-10s %12.4g → %-12.4g", status, nb.Name, m, ov, nv))
+				continue
+			case ov == 0:
+				status = "FAIL "
+				regressions++
+				lines = append(lines, fmt.Sprintf("%s %-40s %-10s %12.4g → %-12.4g (was zero)", status, nb.Name, m, ov, nv))
+				continue
+			case nv > ov*tol:
+				status = "FAIL "
+				regressions++
+			}
+			lines = append(lines, fmt.Sprintf("%s %-40s %-10s %12.4g → %-12.4g %.2fx", status, nb.Name, m, ov, nv, nv/ov))
+		}
+	}
+	var missing []string
+	for name := range oldBy {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		lines = append(lines, fmt.Sprintf("gone  %-40s (in baseline, not in new run)", name))
+	}
+	return lines, regressions
 }
 
 // Parse reads `go test -bench` output and returns the structured report.

@@ -66,3 +66,97 @@ func TestSplitProcs(t *testing.T) {
 		}
 	}
 }
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestParseTolerance(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"1.5x", 1.5, true},
+		{"2", 2, true},
+		{" 1.1x ", 1.1, true},
+		{"0.5x", 0, false}, // tolerances below 1 would fail on noise alone
+		{"fast", 0, false},
+		{"", 0, false},
+	} {
+		got, err := parseTolerance(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("parseTolerance(%q) = %v, %v; want %v (ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldRep := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkHot", map[string]float64{"ns/op": 100, "allocs/op": 0}),
+		bench("BenchmarkSteady", map[string]float64{"ns/op": 50, "allocs/op": 2}),
+		bench("BenchmarkGone", map[string]float64{"ns/op": 10}),
+	}}
+	newRep := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkHot", map[string]float64{"ns/op": 120, "allocs/op": 3}),    // allocs 0 → 3: regression
+		bench("BenchmarkSteady", map[string]float64{"ns/op": 200, "allocs/op": 2}), // 4x slower: regression
+		bench("BenchmarkNew", map[string]float64{"ns/op": 1}),
+	}}
+	lines, regressions := Compare(oldRep, newRep, 1.5, []string{"ns/op", "allocs/op"}, 0)
+	if regressions != 2 {
+		t.Fatalf("got %d regressions, want 2:\n%s", regressions, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"was zero", "4.00x", "no baseline", "gone  BenchmarkGone"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	oldRep := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkHot", map[string]float64{"ns/op": 100, "allocs/op": 0}),
+	}}
+	newRep := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkHot", map[string]float64{"ns/op": 140, "allocs/op": 0}),
+	}}
+	if lines, regressions := Compare(oldRep, newRep, 1.5, []string{"ns/op", "allocs/op"}, 0); regressions != 0 {
+		t.Fatalf("got %d regressions, want 0:\n%s", regressions, strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareMinOldSkipsNoise(t *testing.T) {
+	oldRep := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkTiny", map[string]float64{"ns/op": 500}),
+		bench("BenchmarkBig", map[string]float64{"ns/op": 5e6}),
+	}}
+	newRep := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkTiny", map[string]float64{"ns/op": 5000}), // 10x, but under the floor
+		bench("BenchmarkBig", map[string]float64{"ns/op": 25e6}),  // 5x, gated
+	}}
+	lines, regressions := Compare(oldRep, newRep, 1.5, []string{"ns/op"}, 1e6)
+	if regressions != 1 {
+		t.Fatalf("got %d regressions, want only BenchmarkBig:\n%s", regressions, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "skip  BenchmarkTiny") {
+		t.Fatalf("noise-floor skip not reported:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	oldRep := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkHot", map[string]float64{"ns/op": 100, "allocs/op": 0}),
+	}}
+	newRep := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkHot", map[string]float64{"ns/op": 100}), // -benchmem dropped
+	}}
+	lines, regressions := Compare(oldRep, newRep, 1.5, []string{"ns/op", "allocs/op"}, 0)
+	if regressions != 1 || !strings.Contains(strings.Join(lines, "\n"), "missing in new run") {
+		t.Fatalf("got %d regressions:\n%s", regressions, strings.Join(lines, "\n"))
+	}
+	// The reverse — a metric only the new run has — is not a regression.
+	if _, regressions := Compare(newRep, oldRep, 1.5, []string{"ns/op", "allocs/op"}, 0); regressions != 0 {
+		t.Fatalf("new-only metric flagged as regression")
+	}
+}

@@ -1,0 +1,96 @@
+// Command ironhide-serve runs the simulation-as-a-service daemon: a
+// long-lived HTTP front end that answers binding-search and experiment
+// queries online, capturing each workload trace at most once and
+// replaying it for every subsequent query (see internal/service for the
+// API and the cache/coalescing design).
+//
+// Usage:
+//
+//	ironhide-serve [-addr :8372] [-dilation n] [-cache n]
+//	               [-grid-workers n] [-timeout d]
+//	ironhide-serve -selftest [selftest flags]
+//
+// Serving mode listens on -addr until SIGINT/SIGTERM, then drains
+// in-flight requests and exits. -selftest starts the service in-process,
+// hammers it with cold (unique-query) and warm (repeated-query) load
+// streams plus a mixed search/run/grid stream, prints throughput and
+// latency percentiles, and exits nonzero unless the warm stream achieves
+// -min-speedup times the cold stream's throughput and the online answers
+// are byte-identical to the batch driver — the demonstration that the
+// trace cache makes an interactive service economical.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	dilation := flag.Int64("dilation", 12, "protocol-constant dilation divisor (1 = full-fidelity per-event costs)")
+	cacheTraces := flag.Int("cache", 16, "trace-cache capacity (distinct app/scale/seed captures held)")
+	gridWorkers := flag.Int("grid-workers", runtime.NumCPU(), "worker pool bound for /v1/grid fan-outs")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline (requests may override via timeout_ms)")
+
+	selftest := flag.Bool("selftest", false, "run the load-generator self-test against an in-process server and exit")
+	stApp := flag.String("selftest-app", "aes-query", "application the cold/warm streams query")
+	stScale := flag.Float64("selftest-scale", 0.25, "scale of the self-test queries")
+	stCold := flag.Int("selftest-cold", 4, "cold-phase unique queries (each forces a capture)")
+	stWarm := flag.Int("selftest-warm", 32, "warm-phase repeated queries (replayed from cache)")
+	stConc := flag.Int("selftest-concurrency", 4, "client workers per phase")
+	minSpeedup := flag.Float64("min-speedup", 10, "required warm/cold throughput ratio")
+	flag.Parse()
+
+	cfg := service.Config{
+		Arch:           arch.TileGx72Scaled(*dilation),
+		CacheTraces:    *cacheTraces,
+		GridWorkers:    *gridWorkers,
+		DefaultTimeout: *timeout,
+	}
+	if *selftest {
+		os.Exit(runSelftest(cfg, selftestConfig{
+			App:        *stApp,
+			Scale:      *stScale,
+			Cold:       *stCold,
+			Warm:       *stWarm,
+			Conc:       *stConc,
+			MinSpeedup: *minSpeedup,
+		}))
+	}
+
+	srv := service.New(cfg)
+	hs := &http.Server{Addr: *addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "ironhide-serve: draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "ironhide-serve: shutdown:", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "ironhide-serve: listening on %s (cache %d traces, grid workers %d, timeout %s)\n",
+		*addr, *cacheTraces, *gridWorkers, *timeout)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "ironhide-serve:", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"ironhide/internal/driver"
+	"ironhide/internal/service"
+)
+
+// selftestConfig tunes the load-generator self-test.
+type selftestConfig struct {
+	App        string
+	Scale      float64
+	Cold       int
+	Warm       int
+	Conc       int
+	MinSpeedup float64
+}
+
+// warmSeed is the seed the correctness probe and the warm stream share,
+// so the warm phase measures pure cache-hit replay.
+const warmSeed = 42
+
+// runSelftest starts the service in-process and demonstrates the trace
+// cache: a cold stream of unique queries (every one a capture) versus a
+// warm stream of repeated queries (every one a replay), plus a mixed
+// search/run/grid stream for latency percentiles. Returns the process
+// exit code.
+func runSelftest(cfg service.Config, st selftestConfig) int {
+	srv := service.New(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selftest:", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(l) }()
+	defer hs.Close()
+	base := "http://" + l.Addr().String()
+	client := &http.Client{}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "selftest: FAIL: "+format+"\n", args...)
+		return 1
+	}
+
+	fmt.Printf("ironhide-serve selftest: %s at scale %g on %s\n", st.App, st.Scale, base)
+
+	// 1. Correctness: the online answer must be byte-identical to the
+	// batch driver for the same (app, model, scale, seed). This also
+	// captures the warm stream's trace.
+	runQ := service.Query{App: st.App, Model: "IRONHIDE", Scale: st.Scale, Seed: warmSeed}
+	body, err := postJSON(client, base+"/v1/run", runQ)
+	if err != nil {
+		return fail("warm-up run: %v", err)
+	}
+	want, err := batchResultJSON(cfg, runQ)
+	if err != nil {
+		return fail("batch reference run: %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		return fail("online /v1/run diverged from the batch driver\nonline: %s\nbatch:  %s", body, want)
+	}
+	fmt.Println("  ✓ /v1/run byte-identical to the batch driver")
+
+	// 2. Cold stream: unique (app, scale, seed) queries; every request
+	// pays a full live capture.
+	var coldQs []service.Query
+	for i := 0; i < st.Cold; i++ {
+		q := runQ
+		q.Seed = int64(1001 + i) // unique key → cache miss → capture
+		coldQs = append(coldQs, q)
+	}
+	coldTargets, err := service.QueryTargets(base+"/v1/run", coldQs)
+	if err != nil {
+		return fail("%v", err)
+	}
+	cold := service.Hammer("cold", client, coldTargets, st.Conc)
+	fmt.Println(" ", cold)
+	if cold.Errors > 0 {
+		return fail("cold stream: %d errors (first: %s)", cold.Errors, cold.FirstError)
+	}
+
+	// 3. Warm stream: the same query over and over; every request replays
+	// the cached trace.
+	warmQs := make([]service.Query, st.Warm)
+	for i := range warmQs {
+		warmQs[i] = runQ
+	}
+	warmTargets, err := service.QueryTargets(base+"/v1/run", warmQs)
+	if err != nil {
+		return fail("%v", err)
+	}
+	warm := service.Hammer("warm", client, warmTargets, st.Conc)
+	fmt.Println(" ", warm)
+	if warm.Errors > 0 {
+		return fail("warm stream: %d errors (first: %s)", warm.Errors, warm.FirstError)
+	}
+
+	// 4. Mixed stream: search + run across two applications, exercising
+	// coalescing and both query paths at once.
+	var mixed []service.Target
+	for i := 0; i < st.Warm/2; i++ {
+		q := runQ
+		path := "/v1/run"
+		if i%2 == 0 {
+			path = "/v1/search"
+		}
+		if i%4 >= 2 {
+			q.App = "sssp-graph"
+		}
+		ts, err := service.QueryTargets(base+path, []service.Query{q})
+		if err != nil {
+			return fail("%v", err)
+		}
+		mixed = append(mixed, ts...)
+	}
+	mix := service.Hammer("mixed", client, mixed, st.Conc)
+	fmt.Println(" ", mix)
+	if mix.Errors > 0 {
+		return fail("mixed stream: %d errors (first: %s)", mix.Errors, mix.FirstError)
+	}
+
+	// 5. One grid batch across the model axis.
+	grid := service.GridRequest{}
+	for _, model := range []string{"Insecure", "SGX", "MI6", "IRONHIDE"} {
+		grid.Cells = append(grid.Cells, service.Query{App: "sssp-graph", Model: model, Scale: st.Scale, Seed: warmSeed})
+	}
+	gb, err := postJSON(client, base+"/v1/grid", grid)
+	if err != nil {
+		return fail("grid: %v", err)
+	}
+	var gr service.GridResponse
+	if err := json.Unmarshal(gb, &gr); err != nil {
+		return fail("grid response: %v", err)
+	}
+	for _, c := range gr.Cells {
+		if c.Error != "" {
+			return fail("grid cell %s: %s", c.Key, c.Error)
+		}
+	}
+	fmt.Printf("  ✓ /v1/grid: %d cells on %d workers\n", len(gr.Cells), gr.Workers)
+
+	stats := srv.Cache().Stats()
+	fmt.Printf("  cache: %d captures, %d hits, %d coalesced, %d evictions (size %d/%d)\n",
+		stats.Captures, stats.Hits, stats.Coalesced, stats.Evictions, stats.Size, stats.Capacity)
+
+	speedup := warm.ThroughputRPS() / cold.ThroughputRPS()
+	verdict := "PASS"
+	code := 0
+	if speedup < st.MinSpeedup {
+		verdict = "FAIL"
+		code = 1
+	}
+	fmt.Printf("  trace-cache speedup: %.1fx warm over cold (required ≥ %.0fx)  →  %s\n", speedup, st.MinSpeedup, verdict)
+	return code
+}
+
+// postJSON POSTs v and returns the response body, erroring on non-200.
+func postJSON(client *http.Client, url string, v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return body, nil
+}
+
+// batchResultJSON runs the query through the batch driver path and
+// renders the Result exactly as the service does, so the two can be
+// diffed byte-for-byte.
+func batchResultJSON(cfg service.Config, q service.Query) ([]byte, error) {
+	entry, mf, err := service.Resolve(q.App, q.Model)
+	if err != nil {
+		return nil, err
+	}
+	res, err := driver.Run(cfg.Arch, mf(), entry.Factory, q.Options())
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -74,33 +74,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Validate every input — format, experiment names, applications, and
+	// the output directory — before any experiment runs, so a typo fails
+	// in milliseconds instead of after a long simulation.
 	emit, ext, err := metrics.EmitterFor(*format)
 	if err != nil {
 		fatal(err)
+	}
+	names, err := resolveExperiments(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	appNames, err := resolveApps(*appsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
 	}
 
 	cfg := arch.TileGx72Scaled(*dilation)
 	ec := experiments.Config{
 		Scale: *scale, Stride: *stride, Parallel: *parallel, BaseSeed: *seed,
 		SearchWorkers: *searchWorkers, NoReplay: *noReplay,
-	}
-	if *appsFlag != "" {
-		for _, name := range strings.Split(*appsFlag, ",") {
-			entry, ok := apps.ByName(strings.TrimSpace(name))
-			if !ok {
-				var known []string
-				for _, e := range apps.Catalog() {
-					known = append(known, e.Alias)
-				}
-				fatal(fmt.Errorf("unknown application %q (known: %s)", name, strings.Join(known, ", ")))
-			}
-			ec.Apps = append(ec.Apps, entry.Name)
-		}
-	}
-
-	names := []string{flag.Arg(0)}
-	if flag.Arg(0) == "all" {
-		names = experimentNames
+		Apps: appNames,
 	}
 
 	if *cpuProfile != "" {
@@ -133,6 +132,37 @@ func main() {
 // stopProfile flushes the active CPU profile, if any; fatal runs it so an
 // errored run still leaves a parseable profile (os.Exit skips defers).
 var stopProfile = func() {}
+
+// resolveExperiments expands the positional argument to the experiment
+// list, rejecting unknown names before anything has run.
+func resolveExperiments(arg string) ([]string, error) {
+	if arg == "all" {
+		return experimentNames, nil
+	}
+	for _, n := range experimentNames {
+		if n == arg {
+			return []string{arg}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q (want %s|all)", arg, strings.Join(experimentNames, "|"))
+}
+
+// resolveApps expands the comma-separated -apps flag to paper labels,
+// rejecting unknown aliases before anything has run.
+func resolveApps(flagValue string) ([]string, error) {
+	if flagValue == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, name := range strings.Split(flagValue, ",") {
+		entry, err := apps.Find(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry.Name)
+	}
+	return out, nil
+}
 
 func fatal(err error) {
 	stopProfile()
@@ -200,8 +230,9 @@ func build(names []string, cfg arch.Config, ec experiments.Config, trials int) (
 	return reports, nil
 }
 
-// write emits the reports: one file per report under dir when set,
-// otherwise sequentially to stdout separated by blank lines.
+// write emits the reports: one file per report under dir when set (main
+// created it before any experiment ran), otherwise sequentially to stdout
+// separated by blank lines.
 func write(reports []metrics.Tabular, emit metrics.Emitter, ext, dir string) error {
 	if dir == "" {
 		for i, rep := range reports {
@@ -213,9 +244,6 @@ func write(reports []metrics.Tabular, emit metrics.Emitter, ext, dir string) err
 			}
 		}
 		return nil
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
 	}
 	for _, rep := range reports {
 		path := filepath.Join(dir, rep.ReportName()+ext)

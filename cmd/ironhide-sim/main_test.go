@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ironhide/internal/metrics"
+)
+
+// Flag validation must reject bad inputs up front — before any experiment
+// has run — so these helpers are pure and fast.
+
+func TestResolveExperiments(t *testing.T) {
+	all, err := resolveExperiments("all")
+	if err != nil || len(all) != len(experimentNames) {
+		t.Fatalf("all: got %v, %v", all, err)
+	}
+	one, err := resolveExperiments("fig6")
+	if err != nil || len(one) != 1 || one[0] != "fig6" {
+		t.Fatalf("fig6: got %v, %v", one, err)
+	}
+	if _, err := resolveExperiments("fig99"); err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("unknown experiment: got %v, want an error naming it", err)
+	}
+}
+
+func TestResolveApps(t *testing.T) {
+	none, err := resolveApps("")
+	if err != nil || none != nil {
+		t.Fatalf("empty: got %v, %v", none, err)
+	}
+	two, err := resolveApps("aes-query, memcached-os")
+	if err != nil || len(two) != 2 || two[0] != "<AES, QUERY>" {
+		t.Fatalf("aliases: got %v, %v", two, err)
+	}
+	if _, err := resolveApps("aes-query,warp-drive"); err == nil || !strings.Contains(err.Error(), "warp-drive") {
+		t.Fatalf("unknown app: got %v, want an error naming it", err)
+	}
+}
+
+// Unknown -format values fail at EmitterFor, which main calls before
+// building any experiment.
+func TestUnknownFormatRejected(t *testing.T) {
+	if _, _, err := metrics.EmitterFor("yaml"); err == nil || !strings.Contains(err.Error(), "yaml") {
+		t.Fatalf("got %v, want an error naming the bad format", err)
+	}
+	for _, f := range metrics.Formats() {
+		if _, _, err := metrics.EmitterFor(f); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+	}
+}

@@ -14,6 +14,9 @@
 package apps
 
 import (
+	"fmt"
+	"strings"
+
 	"ironhide/internal/abc"
 	"ironhide/internal/aes"
 	"ironhide/internal/driver"
@@ -166,4 +169,19 @@ func ByName(name string) (Entry, bool) {
 		}
 	}
 	return Entry{}, false
+}
+
+// Find resolves a paper label or alias (whitespace-trimmed) to its
+// catalog entry, or returns an error listing the known aliases — the
+// shared validation behind the CLI's -apps flag and the service API.
+func Find(name string) (Entry, error) {
+	entry, ok := ByName(strings.TrimSpace(name))
+	if !ok {
+		var known []string
+		for _, e := range Catalog() {
+			known = append(known, e.Alias)
+		}
+		return Entry{}, fmt.Errorf("unknown application %q (known: %s)", name, strings.Join(known, ", "))
+	}
+	return entry, nil
 }

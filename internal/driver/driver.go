@@ -484,41 +484,77 @@ func profile(cfg arch.Config, model enclave.Model, src appSource, secureCores in
 	return float64(completion), nil
 }
 
+// SearchResult is the outcome of a cluster-binding search: the chosen
+// secure-cluster size, the profiling probes it cost, and whether the run
+// that installs the binding should waive the one-time reconfiguration
+// overhead (the Optimal oracle's convention).
+type SearchResult struct {
+	SecureCores   int
+	Probes        int
+	WaiveReconfig bool
+}
+
+// SearchTrace runs only the cluster-binding search for a spatial model
+// over a captured trace — the trace-cache-friendly entry point an online
+// service uses: capture (or fetch) the trace once, search payload-free,
+// then replay the measured run at the chosen binding via RunTrace with
+// Options.FixedSecureCores. Temporal models time-share the whole machine
+// and have no binding to choose, so they are rejected.
+func SearchTrace(cfg arch.Config, model enclave.Model, tr *trace.Trace, opts Options) (SearchResult, error) {
+	if model.Temporal() {
+		return SearchResult{}, fmt.Errorf("driver: temporal model %s has no cluster binding to search", model.Name())
+	}
+	if tr.Scale != opts.scale() {
+		return SearchResult{}, fmt.Errorf("driver: trace captured at scale %g cannot search at scale %g", tr.Scale, opts.scale())
+	}
+	return chooseBinding(cfg, model, traceSource{tr: tr}, opts)
+}
+
+// chooseBinding picks the secure-cluster size for a spatial run: the
+// fixed binding when Options pins one, otherwise the gradient heuristic
+// or the exhaustive Optimal oracle probing candidates via profile.
+func chooseBinding(cfg arch.Config, model enclave.Model, src appSource, opts Options) (SearchResult, error) {
+	lo, hi := 1, cfg.Cores()-1
+	sr := SearchResult{SecureCores: opts.FixedSecureCores, WaiveReconfig: opts.WaiveReconfig}
+	if sr.SecureCores > 0 {
+		return sr, nil
+	}
+	eval := func(k int) (float64, error) { return profile(cfg, model, src, k) }
+	var hres heuristic.Result
+	var err error
+	if opts.Optimal || opts.Variation != 0 {
+		stride := opts.OptimalStride
+		if stride <= 0 {
+			stride = 1
+		}
+		hres, err = heuristic.OptimalParallel(lo, hi, stride, opts.searchWorkers(), eval)
+		sr.WaiveReconfig = sr.WaiveReconfig || opts.Optimal
+	} else {
+		hres, err = heuristic.Gradient(lo, hi, cfg.Cores()/2, cfg.Cores()/4, eval)
+	}
+	if err != nil {
+		return SearchResult{}, err
+	}
+	sr.SecureCores = hres.SecureCores
+	sr.Probes = hres.Probes
+	if opts.Variation != 0 {
+		sr.SecureCores = heuristic.Vary(sr.SecureCores, opts.Variation, cfg.Cores(), lo, hi)
+	}
+	return sr, nil
+}
+
 // runSpatial drives the insecure baseline and IRONHIDE.
 func runSpatial(cfg arch.Config, model enclave.Model, src appSource, opts Options) (*Result, error) {
 	app := src.fresh()
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
-	lo, hi := 1, cfg.Cores()-1
 
-	// Choose the binding.
-	binding := opts.FixedSecureCores
-	probes := 0
-	waiveOverheads := opts.WaiveReconfig
-	if binding <= 0 {
-		eval := func(k int) (float64, error) { return profile(cfg, model, src, k) }
-		var hres heuristic.Result
-		var err error
-		if opts.Optimal || opts.Variation != 0 {
-			stride := opts.OptimalStride
-			if stride <= 0 {
-				stride = 1
-			}
-			hres, err = heuristic.OptimalParallel(lo, hi, stride, opts.searchWorkers(), eval)
-			waiveOverheads = waiveOverheads || opts.Optimal
-		} else {
-			hres, err = heuristic.Gradient(lo, hi, cfg.Cores()/2, cfg.Cores()/4, eval)
-		}
-		if err != nil {
-			return nil, err
-		}
-		binding = hres.SecureCores
-		probes = hres.Probes
-		if opts.Variation != 0 {
-			binding = heuristic.Vary(binding, opts.Variation, cfg.Cores(), lo, hi)
-		}
+	sr, err := chooseBinding(cfg, model, src, opts)
+	if err != nil {
+		return nil, err
 	}
+	binding, probes, waiveOverheads := sr.SecureCores, sr.Probes, sr.WaiveReconfig
 
 	res := &Result{App: app.String(), Class: app.Class, Model: model.Name(), Rounds: app.Rounds, SearchProbes: probes}
 

@@ -1,0 +1,88 @@
+package driver
+
+import (
+	"reflect"
+	"testing"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/core"
+	"ironhide/internal/enclave"
+)
+
+// SearchTrace must choose the same binding at the same probe cost as the
+// search embedded in a full Run, and a RunTrace pinned at that binding
+// must reproduce the searched run's Result exactly — the contract that
+// lets an online service search once over a cached trace and replay the
+// measured run separately.
+func TestSearchTraceMatchesRun(t *testing.T) {
+	cfg := arch.TileGx72()
+	opts := Options{Seed: 5}
+	tr, err := CaptureTrace(cfg, tinyApp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := SearchTrace(cfg, core.New(32), tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(cfg, core.New(32), tinyApp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.SecureCores != full.SecureCores {
+		t.Fatalf("SearchTrace chose %d secure cores, embedded search chose %d", sr.SecureCores, full.SecureCores)
+	}
+	if sr.Probes != full.SearchProbes {
+		t.Fatalf("SearchTrace spent %d probes, embedded search spent %d", sr.Probes, full.SearchProbes)
+	}
+	pinned := opts
+	pinned.FixedSecureCores = sr.SecureCores
+	pinned.WaiveReconfig = sr.WaiveReconfig
+	res, err := RunTrace(cfg, core.New(32), tr, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.SearchProbes = sr.Probes // the pinned run skips the search by construction
+	if !reflect.DeepEqual(res, full) {
+		t.Fatalf("search+pinned replay diverged from full run\npinned: %+v\nfull:   %+v", res, full)
+	}
+}
+
+// A fixed binding short-circuits the search: no probes, binding echoed.
+func TestSearchTraceFixedBinding(t *testing.T) {
+	cfg := arch.TileGx72()
+	opts := Options{Seed: 5, FixedSecureCores: 24}
+	tr, err := CaptureTrace(cfg, tinyApp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := SearchTrace(cfg, core.New(32), tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.SecureCores != 24 || sr.Probes != 0 {
+		t.Fatalf("fixed binding: got %+v, want 24 secure cores and 0 probes", sr)
+	}
+}
+
+func TestSearchTraceRejectsTemporal(t *testing.T) {
+	cfg := arch.TileGx72()
+	tr, err := CaptureTrace(cfg, tinyApp, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SearchTrace(cfg, enclave.SGXLike{}, tr, Options{Seed: 5}); err == nil {
+		t.Fatal("expected an error searching a binding for a temporal model")
+	}
+}
+
+func TestSearchTraceRejectsScaleMismatch(t *testing.T) {
+	cfg := arch.TileGx72()
+	tr, err := CaptureTrace(cfg, tinyApp, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SearchTrace(cfg, core.New(32), tr, Options{Seed: 5, Scale: 0.5}); err == nil {
+		t.Fatal("expected a scale-mismatch error")
+	}
+}

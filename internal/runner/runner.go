@@ -9,6 +9,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -60,19 +61,32 @@ type Runner struct {
 	Workers int
 	// BaseSeed anchors the deterministic per-job seeds (default 1).
 	BaseSeed int64
+	// Ctx, when non-nil, aborts the rest of the grid once cancelled:
+	// jobs dispatched after cancellation fail with the context error
+	// instead of running (a service abandons a timed-out batch instead
+	// of burning the pool on results nobody will read).
+	Ctx context.Context
 }
 
 // DefaultWorkers returns the worker count that saturates the host.
 func DefaultWorkers() int { return runtime.NumCPU() }
 
-// seedFor derives the job seed from the base seed and the job index. It
-// depends only on grid position, never on scheduling, so sequential and
-// parallel executions of the same grid run identical simulations.
+// seedFor derives the job seed from the base seed and the job index.
 func (r *Runner) seedFor(index int) int64 {
 	base := r.BaseSeed
 	if base == 0 {
 		base = 1
 	}
+	return SeedFor(base, index)
+}
+
+// SeedFor derives the deterministic seed for grid position index under
+// base. It depends only on grid position, never on scheduling, so
+// sequential and parallel executions of the same grid run identical
+// simulations. Exported so callers that pre-assign seeds (the service's
+// grid endpoint seeds by request cell, even when failed captures compact
+// the job list) agree with Runner.Run's assignment.
+func SeedFor(base int64, index int) int64 {
 	// SplitMix64-style mix keeps adjacent indices' seeds uncorrelated.
 	z := uint64(base) + uint64(index+1)*0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
@@ -92,6 +106,12 @@ func (r *Runner) seedFor(index int) int64 {
 // measure even when one cell fails.
 func (r *Runner) Run(jobs []Job) ([]Result, error) {
 	results, err := Map(r.Workers, jobs, func(i int, job Job) (Result, error) {
+		if r.Ctx != nil {
+			if err := r.Ctx.Err(); err != nil {
+				err = fmt.Errorf("job %q: %w", job.Key, err)
+				return Result{Job: job, Index: i, Err: err}, err
+			}
+		}
 		opts := job.Opts
 		if opts.Seed == 0 {
 			opts.Seed = r.seedFor(i)

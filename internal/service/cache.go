@@ -1,0 +1,160 @@
+package service
+
+import (
+	"container/list"
+	"context"
+
+	"sync"
+
+	"ironhide/internal/trace"
+)
+
+// TraceKey identifies one cached capture. The recorded address stream
+// depends only on the application and the scale (the seed steers the
+// attestation keypair, not the payload), but the key still carries the
+// seed so a cache inspection maps one-to-one onto the queries that filled
+// it and so per-seed streams exercise distinct entries under load tests.
+type TraceKey struct {
+	App   string
+	Scale float64
+	Seed  int64
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Captures  int64 `json:"captures"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+}
+
+// entry is one cache slot. done is closed once the capture settles; until
+// then tr/err must not be read. A failed capture is removed from the map
+// before done closes, so later queries retry instead of caching the error.
+type entry struct {
+	key  TraceKey
+	done chan struct{}
+	tr   *trace.Trace
+	err  error
+}
+
+// TraceCache is a bounded LRU of captured workload traces with
+// singleflight coalescing: the first query for a key runs the capture,
+// every concurrent query for the same key waits on that one capture, and
+// later queries replay the cached trace. Eviction is least-recently-used
+// over settled entries; in-flight captures are never evicted (their
+// waiters hold them anyway), so the cache may transiently exceed its
+// capacity while captures are outstanding.
+type TraceCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[TraceKey]*list.Element // values are *entry
+	lru     *list.List                 // front = most recently used
+
+	hits, misses, captures, coalesced, evictions int64
+}
+
+// NewTraceCache builds a cache holding up to capacity traces (minimum 1).
+func NewTraceCache(capacity int) *TraceCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceCache{
+		cap:     capacity,
+		entries: make(map[TraceKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// GetOrCapture returns the trace for key, running capture at most once per
+// key no matter how many callers arrive concurrently. The boolean reports
+// whether the caller was served from the cache (a coalesced waiter counts
+// as a hit: it paid no capture). A caller whose ctx expires while the
+// capture is still running gets ctx's error; the capture itself is never
+// cancelled — it completes on the goroutine that started it and fills the
+// cache for subsequent queries.
+func (c *TraceCache) GetOrCapture(ctx context.Context, key TraceKey, capture func() (*trace.Trace, error)) (*trace.Trace, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry)
+		c.lru.MoveToFront(el)
+		select {
+		case <-e.done:
+			c.hits++
+		default:
+			c.coalesced++
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.tr, true, e.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	e := &entry{key: key, done: make(chan struct{})}
+	c.entries[key] = c.lru.PushFront(e)
+	c.misses++
+	c.captures++
+	c.evictLocked()
+	c.mu.Unlock()
+
+	e.tr, e.err = capture()
+	c.mu.Lock()
+	if e.err != nil {
+		// Drop the failed entry (it may already be gone if evicted).
+		if el, ok := c.entries[key]; ok && el.Value.(*entry) == e {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+	// This entry no longer counts as pending (close follows below), so any
+	// overage that accrued while it was in flight can be shed now rather
+	// than lingering until the next miss.
+	c.evictLocked()
+	c.mu.Unlock()
+	close(e.done)
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	return e.tr, false, nil
+}
+
+// evictLocked removes settled least-recently-used entries until the cache
+// fits its capacity. Callers hold c.mu.
+func (c *TraceCache) evictLocked() {
+	for el := c.lru.Back(); el != nil && c.lru.Len() > c.cap; {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		settled := true
+		select {
+		case <-e.done:
+		default:
+			settled = false
+		}
+		if settled {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+			c.evictions++
+		}
+		el = prev
+	}
+}
+
+// Stats snapshots the counters.
+func (c *TraceCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:      c.lru.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Captures:  c.captures,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ironhide/internal/trace"
+)
+
+func key(app string, seed int64) TraceKey {
+	return TraceKey{App: app, Scale: 1, Seed: seed}
+}
+
+// A thundering herd of one key must run the capture exactly once; every
+// caller gets the same trace.
+func TestCacheCoalescesConcurrentCaptures(t *testing.T) {
+	c := NewTraceCache(4)
+	var captures atomic.Int64
+	release := make(chan struct{})
+	capture := func() (*trace.Trace, error) {
+		captures.Add(1)
+		<-release // hold every concurrent caller in the pending state
+		return &trace.Trace{App: "a"}, nil
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	traces := make([]*trace.Trace, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, _, err := c.GetOrCapture(context.Background(), key("a", 1), capture)
+			if err != nil {
+				t.Error(err)
+			}
+			traces[i] = tr
+		}(i)
+	}
+	// Let the herd assemble behind the in-flight capture, then release it.
+	for c.Stats().Coalesced < n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := captures.Load(); got != 1 {
+		t.Fatalf("capture ran %d times, want exactly 1", got)
+	}
+	for i := 1; i < n; i++ {
+		if traces[i] != traces[0] {
+			t.Fatalf("caller %d got a different trace instance", i)
+		}
+	}
+	st := c.Stats()
+	if st.Captures != 1 || st.Misses != 1 || st.Coalesced != n-1 {
+		t.Fatalf("stats %+v: want 1 capture, 1 miss, %d coalesced", st, n-1)
+	}
+}
+
+// LRU eviction: capacity 2, touching a key refreshes its recency.
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewTraceCache(2)
+	get := func(seed int64) {
+		t.Helper()
+		if _, _, err := c.GetOrCapture(context.Background(), key("a", seed), func() (*trace.Trace, error) {
+			return &trace.Trace{App: "a"}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(1)
+	get(2)
+	get(1) // refresh 1 → 2 is now least recent
+	get(3) // evicts 2
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats %+v: want 1 eviction and size 2", st)
+	}
+	get(1) // still cached
+	if st := c.Stats(); st.Hits != 2 {
+		t.Fatalf("stats %+v: want 2 hits (refresh + re-read of key 1)", st)
+	}
+	get(2) // evicted above → re-captured
+	if st := c.Stats(); st.Captures != 4 {
+		t.Fatalf("stats %+v: want 4 captures (1,2,3 and 2 again)", st)
+	}
+}
+
+// A failed capture must not be cached: the next query retries.
+func TestCacheRetriesFailedCapture(t *testing.T) {
+	c := NewTraceCache(2)
+	boom := errors.New("boom")
+	calls := 0
+	capture := func() (*trace.Trace, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return &trace.Trace{App: "a"}, nil
+	}
+	if _, _, err := c.GetOrCapture(context.Background(), key("a", 1), capture); !errors.Is(err, boom) {
+		t.Fatalf("first call: got %v, want boom", err)
+	}
+	tr, hit, err := c.GetOrCapture(context.Background(), key("a", 1), capture)
+	if err != nil || tr == nil || hit {
+		t.Fatalf("retry: tr=%v hit=%v err=%v, want a fresh capture", tr, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("capture ran %d times, want 2", calls)
+	}
+}
+
+// A waiter whose context expires gets the context error while the capture
+// finishes in the background and fills the cache.
+func TestCacheWaiterDeadline(t *testing.T) {
+	c := NewTraceCache(2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, _ = c.GetOrCapture(context.Background(), key("a", 1), func() (*trace.Trace, error) {
+			close(started)
+			<-release
+			return &trace.Trace{App: "a"}, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, _, err := c.GetOrCapture(ctx, key("a", 1), nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter got %v, want deadline exceeded", err)
+	}
+	close(release)
+	// The capture still lands: a later query is a pure hit.
+	tr, hit, err := c.GetOrCapture(context.Background(), key("a", 1), nil)
+	if err != nil || tr == nil || !hit {
+		t.Fatalf("post-deadline read: tr=%v hit=%v err=%v, want a cache hit", tr, hit, err)
+	}
+	if st := c.Stats(); st.Captures != 1 {
+		t.Fatalf("stats %+v: want exactly 1 capture", st)
+	}
+}
+
+// In-flight captures are never evicted, even when the cache is over
+// capacity; settled entries around them are.
+func TestCacheKeepsPendingEntries(t *testing.T) {
+	c := NewTraceCache(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, _ = c.GetOrCapture(context.Background(), key("a", 1), func() (*trace.Trace, error) {
+			close(started)
+			<-release
+			return &trace.Trace{App: "a"}, nil
+		})
+	}()
+	<-started
+	// A second key pushes the cache over capacity while the first capture
+	// is still in flight; the pending entry must not be the one to go.
+	if _, _, err := c.GetOrCapture(context.Background(), key("a", 2), func() (*trace.Trace, error) {
+		return &trace.Trace{App: "a"}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	// The pending entry survived: reading key 1 is a hit, not a capture.
+	_, hit, err := c.GetOrCapture(context.Background(), key("a", 1), nil)
+	if err != nil || !hit {
+		t.Fatalf("hit=%v err=%v, want the pending capture to have survived eviction", hit, err)
+	}
+}

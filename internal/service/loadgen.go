@@ -1,0 +1,124 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadReport summarizes one load-generation phase against a running
+// server: request counts, wall-clock throughput, and latency percentiles.
+type LoadReport struct {
+	Name        string
+	Requests    int
+	Errors      int
+	Concurrency int
+	Duration    time.Duration
+	P50, P90    time.Duration
+	P99         time.Duration
+	// FirstError carries the first non-OK body observed, for diagnostics.
+	FirstError string
+}
+
+// ThroughputRPS returns successful requests per wall-clock second.
+func (r *LoadReport) ThroughputRPS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Requests-r.Errors) / r.Duration.Seconds()
+}
+
+// String renders the report as one human line.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("%-12s %4d reqs × %d workers in %8s  →  %8.2f req/s   p50 %s  p90 %s  p99 %s  (%d errors)",
+		r.Name, r.Requests, r.Concurrency, r.Duration.Round(time.Millisecond), r.ThroughputRPS(),
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Errors)
+}
+
+// Target is one request of a load stream: a JSON body POSTed to a URL.
+type Target struct {
+	URL  string
+	Body []byte
+}
+
+// Hammer fires every target as a POST (JSON) from `concurrency` workers
+// and reports throughput and latency percentiles. Targets are dealt to
+// workers round-robin; a non-2xx response or transport error counts as an
+// error but does not stop the run.
+func Hammer(name string, client *http.Client, targets []Target, concurrency int) *LoadReport {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if concurrency > len(targets) {
+		concurrency = len(targets)
+	}
+	latencies := make([]time.Duration, len(targets))
+	errs := make([]string, len(targets))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(targets); i += concurrency {
+				t0 := time.Now()
+				resp, err := client.Post(targets[i].URL, "application/json", bytes.NewReader(targets[i].Body))
+				if err != nil {
+					errs[i] = err.Error()
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				latencies[i] = time.Since(t0)
+				if resp.StatusCode != http.StatusOK {
+					errs[i] = fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep := &LoadReport{Name: name, Requests: len(targets), Concurrency: concurrency, Duration: time.Since(start)}
+	var ok []time.Duration
+	for i, l := range latencies {
+		if errs[i] != "" {
+			rep.Errors++
+			if rep.FirstError == "" {
+				rep.FirstError = errs[i]
+			}
+			continue
+		}
+		ok = append(ok, l)
+	}
+	sort.Slice(ok, func(a, b int) bool { return ok[a] < ok[b] })
+	rep.P50 = percentile(ok, 0.50)
+	rep.P90 = percentile(ok, 0.90)
+	rep.P99 = percentile(ok, 0.99)
+	return rep
+}
+
+// percentile reads the p-quantile from sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// QueryTargets marshals one target per query, all aimed at url.
+func QueryTargets(url string, queries []Query) ([]Target, error) {
+	out := make([]Target, len(queries))
+	for i, q := range queries {
+		b, err := json.Marshal(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Target{URL: url, Body: b}
+	}
+	return out, nil
+}

@@ -1,0 +1,502 @@
+// Package service implements ironhide-serve's HTTP API: an online,
+// concurrent simulation-as-a-service front end over the driver. The
+// paper's premise is *interactive* applications — per-request isolation
+// decisions on a secure multicore — and this package is that loop as a
+// long-running daemon: clients ask for a cluster binding or a full
+// measured run, the service captures each workload trace at most once
+// (bounded LRU keyed by app/scale/seed, singleflight-coalesced so a
+// thundering herd of the same query costs one execution) and answers
+// every subsequent query by payload-free replay.
+//
+// Endpoints:
+//
+//	POST /v1/search  app, model, scale, seed → chosen binding + predicted
+//	                 completion and overhead breakdown (spatial models)
+//	POST /v1/run     full driver Result JSON, byte-identical to the batch
+//	                 path for the same (app, model, scale, seed)
+//	POST /v1/grid    a batch of cells fanned out over the runner pool
+//	GET  /v1/status  uptime, in-flight counts, trace-cache stats
+//
+// Responses to identical queries are byte-identical (the simulation is
+// deterministic and cache metadata travels in the X-Ironhide-Cache
+// header, not the body). Per-request deadlines come from the request's
+// timeout_ms or the server default; a timed-out capture keeps running in
+// the background and lands in the cache, so a retry after a timeout is
+// typically a cheap replay.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ironhide/internal/apps"
+	"ironhide/internal/arch"
+	"ironhide/internal/driver"
+	"ironhide/internal/enclave"
+	"ironhide/internal/runner"
+	"ironhide/internal/trace"
+)
+
+// MaxGridCells bounds one /v1/grid request.
+const MaxGridCells = 256
+
+// Config tunes the server.
+type Config struct {
+	// Arch is the simulated machine configuration (required).
+	Arch arch.Config
+	// CacheTraces bounds the LRU trace cache (default 16).
+	CacheTraces int
+	// GridWorkers bounds each /v1/grid fan-out (default: all host cores).
+	GridWorkers int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 60s; <0 disables the default deadline).
+	DefaultTimeout time.Duration
+}
+
+// Server answers simulation queries over HTTP. It is safe for concurrent
+// use; create one with New.
+type Server struct {
+	cfg   Config
+	cache *TraceCache
+	mux   *http.ServeMux
+	start time.Time
+
+	served                                    atomic.Int64
+	inflightSearch, inflightRun, inflightGrid atomic.Int64
+}
+
+// New builds a Server over the configuration.
+func New(cfg Config) *Server {
+	if cfg.CacheTraces <= 0 {
+		cfg.CacheTraces = 16
+	}
+	if cfg.GridWorkers <= 0 {
+		cfg.GridWorkers = runtime.NumCPU()
+	}
+	if cfg.DefaultTimeout == 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	s := &Server{cfg: cfg, cache: NewTraceCache(cfg.CacheTraces), mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.served.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Cache exposes the trace cache (the selftest inspects its stats).
+func (s *Server) Cache() *TraceCache { return s.cache }
+
+// Query is the request body of /v1/search and /v1/run, and one cell of a
+// /v1/grid batch.
+type Query struct {
+	// App is a catalog alias ("aes-query") or paper label ("<AES, QUERY>").
+	App string `json:"app"`
+	// Model is Insecure, SGX, MI6 or IRONHIDE (case-insensitive).
+	Model string `json:"model"`
+	// Scale multiplies round counts (0 = the app's defaults, i.e. 1.0).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed makes the run reproducible (0 in a grid cell: the runner
+	// derives a deterministic per-cell seed).
+	Seed int64 `json:"seed,omitempty"`
+	// FixedSecureCores pins the binding, skipping the search.
+	FixedSecureCores int `json:"fixed_secure_cores,omitempty"`
+	// Optimal swaps the gradient heuristic for the exhaustive oracle.
+	Optimal bool `json:"optimal,omitempty"`
+	// OptimalStride coarsens the exhaustive search (default 1).
+	OptimalStride int `json:"optimal_stride,omitempty"`
+	// SearchWorkers parallelizes the Optimal search probes.
+	SearchWorkers int `json:"search_workers,omitempty"`
+	// TimeoutMs caps this request (0 = the server default).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+func (q Query) scale() float64 {
+	if q.Scale <= 0 {
+		return 1
+	}
+	return q.Scale
+}
+
+// Options maps the query onto the driver's run options.
+func (q Query) Options() driver.Options {
+	return driver.Options{
+		Scale:            q.scale(),
+		FixedSecureCores: q.FixedSecureCores,
+		Optimal:          q.Optimal,
+		OptimalStride:    q.OptimalStride,
+		SearchWorkers:    q.SearchWorkers,
+		Seed:             q.Seed,
+	}
+}
+
+// resolve validates the query's application and model names.
+func resolve(q Query) (apps.Entry, func() enclave.Model, error) {
+	return Resolve(q.App, q.Model)
+}
+
+// Resolve maps an application name (catalog alias or paper label) and a
+// model name (case-insensitive) to their factories.
+func Resolve(app, model string) (apps.Entry, func() enclave.Model, error) {
+	entry, err := apps.Find(app)
+	if err != nil {
+		return apps.Entry{}, nil, err
+	}
+	for _, mf := range driver.ModelFactories() {
+		if strings.EqualFold(mf().Name(), strings.TrimSpace(model)) {
+			return entry, mf, nil
+		}
+	}
+	var names []string
+	for _, mf := range driver.ModelFactories() {
+		names = append(names, mf().Name())
+	}
+	return apps.Entry{}, nil, fmt.Errorf("unknown model %q (known: %s)", model, strings.Join(names, ", "))
+}
+
+// SearchResponse is /v1/search's body: the chosen binding and the
+// predicted completion/breakdown a run at that binding measures.
+type SearchResponse struct {
+	App              string `json:"app"`
+	Model            string `json:"model"`
+	SecureCores      int    `json:"secure_cores"`
+	Probes           int    `json:"probes"`
+	CompletionCycles int64  `json:"completion_cycles"`
+	ComputeCycles    int64  `json:"compute_cycles"`
+	EntryExitCycles  int64  `json:"entry_exit_cycles"`
+	PurgeCycles      int64  `json:"purge_cycles"`
+	ReconfigCycles   int64  `json:"reconfig_cycles"`
+}
+
+// GridRequest is /v1/grid's body.
+type GridRequest struct {
+	Cells []Query `json:"cells"`
+	// Workers bounds the fan-out (0 = the server's GridWorkers).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMs caps the whole batch (0 = the server default).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// GridCell is one cell of a /v1/grid response.
+type GridCell struct {
+	Key    string         `json:"key"`
+	Result *driver.Result `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// GridResponse is /v1/grid's body.
+type GridResponse struct {
+	Cells   []GridCell `json:"cells"`
+	Workers int        `json:"workers"`
+}
+
+// StatusResponse is /v1/status's body.
+type StatusResponse struct {
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Served        int64         `json:"served"`
+	InFlight      InFlightStats `json:"in_flight"`
+	Cache         CacheStats    `json:"cache"`
+}
+
+// InFlightStats counts requests currently executing per endpoint.
+type InFlightStats struct {
+	Search int64 `json:"search"`
+	Run    int64 `json:"run"`
+	Grid   int64 `json:"grid"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// errorStatus maps an execution error to an HTTP status.
+func errorStatus(err error) int {
+	switch {
+	case err == context.DeadlineExceeded || err == context.Canceled:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// requestContext derives the per-request deadline.
+func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		timeout = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// cacheHeader reports how the trace behind a response was obtained.
+func cacheHeader(w http.ResponseWriter, hit bool) {
+	if hit {
+		w.Header().Set("X-Ironhide-Cache", "hit")
+	} else {
+		w.Header().Set("X-Ironhide-Cache", "capture")
+	}
+}
+
+// outcome is one handler's computed response.
+type outcome struct {
+	body      any
+	withCache bool // set the X-Ironhide-Cache header from hit
+	hit       bool
+	err       error
+}
+
+// respond runs work on its own goroutine and writes its outcome, mapping
+// a ctx expiry to 504 while the work finishes in the background (a
+// timed-out capture still fills the cache; see the package doc).
+func respond(ctx context.Context, w http.ResponseWriter, work func() outcome) {
+	ch := make(chan outcome, 1)
+	go func() { ch <- work() }()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			writeError(w, errorStatus(o.err), o.err)
+			return
+		}
+		if o.withCache {
+			cacheHeader(w, o.hit)
+		}
+		writeJSON(w, http.StatusOK, o.body)
+	case <-ctx.Done():
+		writeError(w, http.StatusGatewayTimeout, ctx.Err())
+	}
+}
+
+// getTrace fetches or captures the query's trace through the cache.
+func (s *Server) getTrace(ctx context.Context, entry apps.Entry, q Query) (*trace.Trace, bool, error) {
+	key := TraceKey{App: entry.Name, Scale: q.scale(), Seed: q.Seed}
+	return s.cache.GetOrCapture(ctx, key, func() (*trace.Trace, error) {
+		return driver.CaptureTrace(s.cfg.Arch, entry.Factory, q.Options())
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.inflightSearch.Add(1)
+	defer s.inflightSearch.Add(-1)
+	var q Query
+	if err := decodeBody(r, &q); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, mf, err := resolve(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if mf().Temporal() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("model %s time-shares the whole machine and has no cluster binding to search", mf().Name()))
+		return
+	}
+	ctx, cancel := s.requestContext(r, q.TimeoutMs)
+	defer cancel()
+	respond(ctx, w, func() outcome {
+		tr, hit, err := s.getTrace(ctx, entry, q)
+		if err != nil {
+			return outcome{err: err}
+		}
+		opts := q.Options()
+		sr, err := driver.SearchTrace(s.cfg.Arch, mf(), tr, opts)
+		if err != nil {
+			return outcome{err: err}
+		}
+		pinned := opts
+		pinned.FixedSecureCores = sr.SecureCores
+		pinned.WaiveReconfig = sr.WaiveReconfig
+		res, err := driver.RunTrace(s.cfg.Arch, mf(), tr, pinned)
+		if err != nil {
+			return outcome{err: err}
+		}
+		return outcome{withCache: true, hit: hit, body: SearchResponse{
+			App:              res.App,
+			Model:            res.Model,
+			SecureCores:      sr.SecureCores,
+			Probes:           sr.Probes,
+			CompletionCycles: res.CompletionCycles,
+			ComputeCycles:    res.ComputeCycles(),
+			EntryExitCycles:  res.EntryExitCycles,
+			PurgeCycles:      res.PurgeCycles,
+			ReconfigCycles:   res.ReconfigCycles,
+		}}
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.inflightRun.Add(1)
+	defer s.inflightRun.Add(-1)
+	var q Query
+	if err := decodeBody(r, &q); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, mf, err := resolve(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, q.TimeoutMs)
+	defer cancel()
+	respond(ctx, w, func() outcome {
+		tr, hit, err := s.getTrace(ctx, entry, q)
+		if err != nil {
+			return outcome{err: err}
+		}
+		res, err := driver.RunTrace(s.cfg.Arch, mf(), tr, q.Options())
+		// The body is exactly the driver Result, so an online answer can be
+		// diffed byte-for-byte against the batch path.
+		return outcome{withCache: true, hit: hit, body: res, err: err}
+	})
+}
+
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	s.inflightGrid.Add(1)
+	defer s.inflightGrid.Add(-1)
+	var req GridRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty grid"))
+		return
+	}
+	if len(req.Cells) > MaxGridCells {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("grid of %d cells exceeds the %d-cell limit", len(req.Cells), MaxGridCells))
+		return
+	}
+	// Validate every cell before running any.
+	entries := make([]apps.Entry, len(req.Cells))
+	models := make([]func() enclave.Model, len(req.Cells))
+	for i, q := range req.Cells {
+		if q.TimeoutMs != 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("cell %d: timeout_ms is per request, not per cell — set it on the grid", i))
+			return
+		}
+		entry, mf, err := resolve(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("cell %d: %w", i, err))
+			return
+		}
+		entries[i] = entry
+		models[i] = mf
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.GridWorkers {
+		workers = s.cfg.GridWorkers
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	respond(ctx, w, func() outcome {
+		// Capture (or fetch) each distinct trace once, fanned out over the
+		// worker pool, so the grid shares captures across its cells.
+		type prefetched struct {
+			tr  *trace.Trace
+			err error
+		}
+		keyIndex := map[TraceKey]int{}
+		var unique []int // cell index introducing each distinct key
+		keyOf := func(i int) TraceKey {
+			return TraceKey{App: entries[i].Name, Scale: req.Cells[i].scale(), Seed: req.Cells[i].Seed}
+		}
+		for i := range req.Cells {
+			if _, ok := keyIndex[keyOf(i)]; !ok {
+				keyIndex[keyOf(i)] = len(unique)
+				unique = append(unique, i)
+			}
+		}
+		traces, _ := runner.Map(workers, unique, func(_ int, cell int) (prefetched, error) {
+			tr, _, err := s.getTrace(ctx, entries[cell], req.Cells[cell])
+			return prefetched{tr: tr, err: err}, nil
+		})
+
+		var jobs []runner.Job
+		var jobCell []int // jobs[j] runs response cell jobCell[j]
+		resp := GridResponse{Cells: make([]GridCell, len(req.Cells)), Workers: workers}
+		for i, q := range req.Cells {
+			key := fmt.Sprintf("%s/%s", entries[i].Alias, models[i]().Name())
+			resp.Cells[i].Key = key
+			pf := traces[keyIndex[keyOf(i)]]
+			if pf.err != nil {
+				resp.Cells[i].Error = pf.err.Error()
+				continue
+			}
+			opts := q.Options()
+			if opts.Seed == 0 {
+				// Seed by request cell, not job-list position: a failed
+				// capture compacts the job list, and must not shift the
+				// seeds (and results) of the surviving cells.
+				opts.Seed = runner.SeedFor(1, i)
+			}
+			jobs = append(jobs, runner.Job{Key: key, App: entries[i].Factory, Model: models[i], Opts: opts, Trace: pf.tr})
+			jobCell = append(jobCell, i)
+		}
+		// Ctx lets an abandoned batch stop dispatching replay jobs instead
+		// of burning the pool on results nobody will read.
+		rn := runner.Runner{Cfg: s.cfg.Arch, Workers: workers, Ctx: ctx}
+		results, _ := rn.Run(jobs)
+		for j, rr := range results {
+			i := jobCell[j]
+			if rr.Err != nil {
+				resp.Cells[i].Error = rr.Err.Error()
+				continue
+			}
+			resp.Cells[i].Result = rr.Res
+		}
+		return outcome{body: resp}
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatusResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Served:        s.served.Load(),
+		InFlight: InFlightStats{
+			Search: s.inflightSearch.Load(),
+			Run:    s.inflightRun.Load(),
+			Grid:   s.inflightGrid.Load(),
+		},
+		Cache: s.cache.Stats(),
+	})
+}

@@ -300,14 +300,20 @@ func TestDeterministicExecution(t *testing.T) {
 // logRecorder captures the event stream as strings for inspection.
 type logRecorder struct{ events []string }
 
-func (r *logRecorder) RecordCompute(n int64)     { r.events = append(r.events, fmt.Sprintf("compute:%d", n)) }
-func (r *logRecorder) RecordRead(a arch.Addr)    { r.events = append(r.events, fmt.Sprintf("read:%d", a)) }
-func (r *logRecorder) RecordWrite(a arch.Addr)   { r.events = append(r.events, fmt.Sprintf("write:%d", a)) }
-func (r *logRecorder) RecordAtomic(a arch.Addr)  { r.events = append(r.events, fmt.Sprintf("atomic:%d", a)) }
-func (r *logRecorder) RecordBarrier()            { r.events = append(r.events, "barrier") }
-func (r *logRecorder) RecordParFor()             { r.events = append(r.events, "parfor") }
-func (r *logRecorder) RecordChunk()              { r.events = append(r.events, "chunk") }
-func (r *logRecorder) RecordSeq()                { r.events = append(r.events, "seq") }
+func (r *logRecorder) RecordCompute(n int64) {
+	r.events = append(r.events, fmt.Sprintf("compute:%d", n))
+}
+func (r *logRecorder) RecordRead(a arch.Addr) { r.events = append(r.events, fmt.Sprintf("read:%d", a)) }
+func (r *logRecorder) RecordWrite(a arch.Addr) {
+	r.events = append(r.events, fmt.Sprintf("write:%d", a))
+}
+func (r *logRecorder) RecordAtomic(a arch.Addr) {
+	r.events = append(r.events, fmt.Sprintf("atomic:%d", a))
+}
+func (r *logRecorder) RecordBarrier() { r.events = append(r.events, "barrier") }
+func (r *logRecorder) RecordParFor()  { r.events = append(r.events, "parfor") }
+func (r *logRecorder) RecordChunk()   { r.events = append(r.events, "chunk") }
+func (r *logRecorder) RecordSeq()     { r.events = append(r.events, "seq") }
 
 // The recorder hooks must see every construct exactly once, in execution
 // order, with Atomic as one composite event (not its constituent
