@@ -14,6 +14,7 @@
 //	BenchmarkRoutingIsolation   X-Y vs bidirectional routing ablation
 //	BenchmarkPurge              strong-isolation purge cost
 //	BenchmarkReconfigBudget     dynamic-hardware-isolation event cost
+//	BenchmarkScenarioPhase      multi-tenant timeline engine, per phase
 //	BenchmarkGridSequential     app×model grid on 1 runner worker
 //	BenchmarkGridParallel       the same grid on all host cores
 //
@@ -37,6 +38,7 @@ import (
 	"ironhide/internal/metrics"
 	"ironhide/internal/noc"
 	"ironhide/internal/runner"
+	"ironhide/internal/scenario"
 	"ironhide/internal/sim"
 )
 
@@ -392,6 +394,39 @@ func BenchmarkReconfigBudget(b *testing.B) {
 		b.ReportMetric(float64(res.Cycles)/1e6, "ms-per-reconfig")
 		b.ReportMetric(float64(res.PagesMoved), "pages-moved")
 	}
+}
+
+// BenchmarkScenarioPhase measures the multi-tenant timeline engine: one
+// fixed resize-heavy scenario per iteration, reported per phase. The
+// timeline covers the engine's whole surface — admission, binding search
+// over a cached trace, a budget-denied load shift, a purged resize, and
+// the per-phase tenant replays.
+func BenchmarkScenarioPhase(b *testing.B) {
+	cfg := benchCfg()
+	spec := scenario.Spec{
+		Seed: 42, Scale: 0.05, Apps: []string{"aes-query", "sssp-graph"},
+		Timeline: []scenario.Event{
+			{Kind: scenario.Arrive, App: "aes-query"},
+			{Kind: scenario.LoadShift, App: "aes-query", Factor: 2},
+			{Kind: scenario.Arrive, App: "sssp-graph"},
+			{Kind: scenario.Depart, App: "aes-query"},
+		},
+	}
+	b.ReportAllocs()
+	var rep *scenario.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = scenario.Run(cfg, spec, scenario.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rep.TotalPurgeCycles <= 0 || rep.RouteViolations != 0 {
+		b.Fatalf("implausible scenario: purge=%d violations=%d", rep.TotalPurgeCycles, rep.RouteViolations)
+	}
+	phases := float64(len(rep.Phases))
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/phases/1e6, "ms-per-phase")
+	b.ReportMetric(float64(rep.TotalPurgeCycles)/phases, "purge-cycles-per-phase")
 }
 
 // benchGrid measures one full app×model matrix at the given worker

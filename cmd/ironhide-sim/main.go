@@ -15,6 +15,7 @@
 //	fig8     cluster reconfiguration heuristic study (Figure 8)
 //	attack   Prime+Probe covert-channel validation (extension)
 //	sweep    interactivity ablation (input-count sweep)
+//	scenario multi-tenant dynamic-reconfiguration timeline (extension)
 //	all      everything above
 //
 // Every experiment is a job grid executed on -parallel workers (default:
@@ -49,7 +50,7 @@ import (
 
 // experimentNames lists the experiments in presentation order; "all" runs
 // every one of them off a single application×model matrix.
-var experimentNames = []string{"table1", "fig1a", "fig6", "fig7", "fig8", "attack", "sweep"}
+var experimentNames = []string{"table1", "fig1a", "fig6", "fig7", "fig8", "attack", "sweep", "scenario"}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "round-count scale factor (smaller = faster, noisier)")
@@ -216,6 +217,8 @@ func build(names []string, cfg arch.Config, ec experiments.Config, trials int) (
 			rep, err = experiments.BuildAttack(ec, trials)
 		case "sweep":
 			rep, err = experiments.BuildSweep(cfg, ec, []int{30, 60, 120, 240})
+		case "scenario":
+			rep, err = experiments.BuildScenario(cfg, ec)
 		default:
 			err = fmt.Errorf("unknown experiment %q", name)
 		}

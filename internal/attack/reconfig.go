@@ -1,0 +1,226 @@
+// Post-reconfiguration residue channel: the leakage hazard dynamic
+// hardware isolation opens and the purge path must close. When the
+// secure cluster shrinks, cores and L2 slices that served a secure
+// process are handed to the insecure domain; whatever microarchitecture
+// state survives the hand-over is readable by the new owner. The paper
+// closes this in hardware (flush-and-invalidate of the moved cores'
+// private L1/TLB state, re-homing with purge of the vacated shared-cache
+// slices); this harness validates that the simulated resize path does
+// the same.
+//
+// The receiver here is the strongest possible one — a perfect state
+// oracle over the resized-away resources — so a dead channel under it
+// bounds every real timing receiver. The sender primes one of two
+// (slice, set) targets on a to-be-vacated slice according to the secret
+// bit; after the resize the receiver compares the surviving secure-owned
+// occupancy of the two targets. Routed through the real reconfiguration
+// (IronHide.Reconfigure, budgeted by the secure kernel) the residue is
+// zero and the accuracy collapses to coin-flipping; through a naive
+// resize that skips the purges, the channel reads the secret almost
+// perfectly.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/cache"
+	"ironhide/internal/core"
+	"ironhide/internal/kernel"
+	"ironhide/internal/noc"
+	"ironhide/internal/sim"
+)
+
+// ResidueResult reports one post-reconfiguration residue experiment.
+type ResidueResult struct {
+	Purged  bool // resize ran the real purge path
+	Trials  int
+	Correct int
+	// MaxResidue is the largest count of secure-owned lines found
+	// resident in the resized-away core's L1 and vacated L2 slice after
+	// any resize of the run. The purge path must keep it at zero.
+	MaxResidue int
+	// PurgeCycles accumulates the stalls the resizes charged.
+	PurgeCycles int64
+}
+
+// Accuracy returns the fraction of bits recovered.
+func (r ResidueResult) Accuracy() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Trials)
+}
+
+// String summarizes the run.
+func (r ResidueResult) String() string {
+	mode := "no-purge"
+	if r.Purged {
+		mode = "purged"
+	}
+	return fmt.Sprintf("post-reconfig (%s): %d/%d bits (%.0f%%), max residue %d lines",
+		mode, r.Correct, r.Trials, 100*r.Accuracy(), r.MaxResidue)
+}
+
+// ReconfigResidue mounts the residue channel across a shrink of the
+// secure cluster (32 -> 16 cores, the sender's core and local slice among
+// the moved ones). purged selects the real dynamic-hardware-isolation
+// path; false performs a naive split move that skips every flush — the
+// ablation proving the purges are load-bearing.
+func ReconfigResidue(trials int, seed int64, purged bool) (ResidueResult, error) {
+	const from, to = 32, 16
+	cfg := arch.TileGx72()
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		return ResidueResult{}, err
+	}
+	ih := core.New(from)
+	if err := ih.Configure(m); err != nil {
+		return ResidueResult{}, err
+	}
+	k := kernel.New() // budget authority for the dynamic isolation events
+
+	res := ResidueResult{Purged: purged, Trials: trials}
+	sendSpace := m.NewSpace("victim", arch.Secure)
+
+	// The sender runs on a core the shrink will hand to the insecure
+	// domain, and signals through eviction sets on that core's local L2
+	// slice (vacated by the same shrink).
+	senderCore := arch.CoreID(to) // first core to change domains
+	targetSlice := cache.SliceID(senderCore)
+
+	shrink := func() (int64, error) {
+		if purged {
+			k.NewInvocation()
+			if err := k.AuthorizeReconfig(); err != nil {
+				return 0, err
+			}
+			rr, err := ih.Reconfigure(m, to)
+			return rr.Cycles, err
+		}
+		return 0, naiveResize(m, to)
+	}
+	grow := func() (int64, error) {
+		if purged {
+			k.NewInvocation()
+			if err := k.AuthorizeReconfig(); err != nil {
+				return 0, err
+			}
+			rr, err := ih.Reconfigure(m, from)
+			return rr.Cycles, err
+		}
+		return 0, naiveResize(m, from)
+	}
+
+	slice := m.L2().Slice(targetSlice)
+	rng := rand.New(rand.NewSource(seed))
+	var now int64
+	for trial := 0; trial < trials; trial++ {
+		// Each trial is a fresh victim invocation with its own signal
+		// arena: the purged arm's shrink re-homes the primed pages off the
+		// target slice for good (re-homing is one-way), so a reused arena
+		// would leave later trials with nothing homed there to prime. The
+		// previous trial's arena is retired on the way out, keeping every
+		// shrink's re-homing work bounded by one resident arena.
+		pageLo := uint64(m.TotalPages())
+		sendBuf := sendSpace.Alloc(fmt.Sprintf("signal-arena-%d", trial), 2<<20)
+		targets, targetSets, err := pickTargets(m, sendBuf, targetSlice)
+		if err != nil {
+			return res, err
+		}
+		// Trial isolation: clean private and target-slice state, then
+		// prime the secret.
+		slice.FlushInvalidate()
+		m.L1(senderCore).FlushInvalidate()
+		bit := rng.Intn(2) == 1
+		idx := 0
+		if bit {
+			idx = 1
+		}
+		for _, l := range targets[idx] {
+			now += m.Access(senderCore, l.addr, true, arch.Secure, now) // dirty lines: the worst residue
+		}
+
+		cycles, err := shrink()
+		if err != nil {
+			return res, err
+		}
+		res.PurgeCycles += cycles
+
+		// The receiver owns the moved core and the vacated slice now; it
+		// reads them with the perfect state oracle.
+		occ := [2]int{
+			slice.SetOccupancyByOwner(targetSets[0], arch.Secure),
+			slice.SetOccupancyByOwner(targetSets[1], arch.Secure),
+		}
+		residue := occ[0] + occ[1] + m.L1(senderCore).OccupancyByOwner(arch.Secure)
+		if residue > res.MaxResidue {
+			res.MaxResidue = residue
+		}
+		// Tie (including the all-zero post-purge state) decodes as 0: the
+		// receiver cannot distinguish and must commit to a guess.
+		guess := occ[1] > occ[0]
+		if guess == bit {
+			res.Correct++
+		}
+
+		cycles, err = grow()
+		if err != nil {
+			return res, err
+		}
+		res.PurgeCycles += cycles
+		m.RetirePages(pageLo, uint64(m.TotalPages()))
+	}
+	return res, nil
+}
+
+// pickTargets groups the sender's lines by (home slice, set) exactly as
+// the Prime+Probe harness does and picks two full eviction sets on the
+// target slice — one per bit value, deterministically the two lowest set
+// indices.
+func pickTargets(m *sim.Machine, buf sim.Buffer, targetSlice cache.SliceID) ([2][]lineRef, [2]int, error) {
+	ways := m.Cfg.L2Ways
+	sets := evictionSets(m, buf)
+	var candidates []int
+	for key, lines := range sets {
+		if cache.SliceID(key[0]) == targetSlice && len(lines) >= ways {
+			candidates = append(candidates, key[1])
+		}
+	}
+	var targets [2][]lineRef
+	var targetSets [2]int
+	if len(candidates) < 2 {
+		return targets, targetSets, fmt.Errorf("attack: sender controls %d eviction sets on slice %d, need 2", len(candidates), targetSlice)
+	}
+	sort.Ints(candidates) // deterministic pick: the two lowest set indices
+	for i := 0; i < 2; i++ {
+		targetSets[i] = candidates[i]
+		targets[i] = sets[[2]int{int(targetSlice), candidates[i]}][:ways]
+	}
+	return targets, targetSets, nil
+}
+
+// naiveResize is the ablation: it moves the cluster boundary and the
+// slice ownership the way Reconfigure does, but skips the private-state
+// flushes and the page re-homing purges — leaving the moved resources'
+// contents for the new owner to read.
+func naiveResize(m *sim.Machine, secureCores int) error {
+	split, err := noc.NewSplit(secureCores, m.Cfg)
+	if err != nil {
+		return err
+	}
+	var sec, ins []cache.SliceID
+	for i := 0; i < m.Cfg.Cores(); i++ {
+		if split.ClusterOf(arch.CoreID(i)) == noc.SecureCluster {
+			sec = append(sec, cache.SliceID(i))
+		} else {
+			ins = append(ins, cache.SliceID(i))
+		}
+	}
+	m.SetSlices(arch.Secure, sec)
+	m.SetSlices(arch.Insecure, ins)
+	m.SetSplit(split, true)
+	return nil
+}

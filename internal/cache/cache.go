@@ -174,6 +174,25 @@ func (c *Cache) Contains(addr arch.Addr) bool {
 	return false
 }
 
+// SetOccupancyByOwner counts resident lines of one set installed by the
+// given domain. Like Contains it disturbs nothing — it is the
+// strongest-receiver oracle the post-reconfiguration residue attack reads
+// (any microarchitectural readout is bounded by perfect state knowledge).
+func (c *Cache) SetOccupancyByOwner(set int, owner arch.Domain) int {
+	if set < 0 || set >= c.sets {
+		return 0
+	}
+	n := 0
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.owner == owner {
+			n++
+		}
+	}
+	return n
+}
+
 // OccupancyByOwner counts resident lines installed by the given domain.
 func (c *Cache) OccupancyByOwner(owner arch.Domain) int {
 	n := 0

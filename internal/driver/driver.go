@@ -233,29 +233,86 @@ func profileLen(app *workload.App) (warm, rounds int) {
 // deterministically (per-app, so equal seeds on different apps still get
 // distinct keys); zero falls back to the system entropy source.
 func attest(app *workload.App, seed int64) (*kernel.Kernel, error) {
-	var pub ed25519.PublicKey
-	var priv ed25519.PrivateKey
-	if seed != 0 {
-		var material [sha256.Size]byte
-		binary.LittleEndian.PutUint64(material[:8], uint64(seed))
-		copy(material[8:], app.Name)
-		digest := sha256.Sum256(material[:])
-		priv = ed25519.NewKeyFromSeed(digest[:])
-		pub = priv.Public().(ed25519.PublicKey)
-	} else {
-		var err error
-		pub, priv, err = ed25519.GenerateKey(rand.Reader)
-		if err != nil {
-			return nil, err
-		}
+	a, err := appAuthority(app, seed)
+	if err != nil {
+		return nil, err
 	}
-	k := kernel.New(pub)
-	image := []byte(app.Secure.Name() + "/" + app.Name)
-	cert := kernel.Sign(priv, kernel.Measure(app.Secure.Name(), image))
-	if err := k.Attest(app.Secure.Name(), image, cert); err != nil {
+	k := a.NewKernel()
+	if err := a.Admit(k, app); err != nil {
 		return nil, err
 	}
 	return k, nil
+}
+
+// appAuthority builds the per-app signing authority a single-app run
+// attests with.
+func appAuthority(app *workload.App, seed int64) (*Authority, error) {
+	if seed == 0 {
+		return NewAuthority(0)
+	}
+	return derivedAuthority(seed, app.Name), nil
+}
+
+// derivedAuthority derives a deterministic authority from (seed, label).
+func derivedAuthority(seed int64, label string) *Authority {
+	var material [sha256.Size]byte
+	binary.LittleEndian.PutUint64(material[:8], uint64(seed))
+	copy(material[8:], label)
+	digest := sha256.Sum256(material[:])
+	priv := ed25519.NewKeyFromSeed(digest[:])
+	return &Authority{pub: priv.Public().(ed25519.PublicKey), priv: priv}
+}
+
+// Authority is a signing authority for secure-process attestation. The
+// multi-tenant scenario engine runs one authority per timeline: every
+// arriving application's secure process is measured, signed by the
+// authority, and attested into the shared secure kernel before it may be
+// admitted to the secure cluster.
+type Authority struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewAuthority builds a signing authority. A non-zero seed derives the
+// keypair deterministically (the scenario engine needs bit-reproducible
+// timelines); zero reads the system entropy source.
+func NewAuthority(seed int64) (*Authority, error) {
+	if seed != 0 {
+		return derivedAuthority(seed, "ironhide-authority"), nil
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Authority{pub: pub, priv: priv}, nil
+}
+
+// NewKernel builds a secure kernel trusting this authority.
+func (a *Authority) NewKernel() *kernel.Kernel { return kernel.New(a.pub) }
+
+// Admit measures the application's secure process, signs the measurement,
+// and attests it into the kernel — the admission step every tenant of a
+// multi-tenant timeline passes through before entering the secure cluster.
+func (a *Authority) Admit(k *kernel.Kernel, app *workload.App) error {
+	image := []byte(app.Secure.Name() + "/" + app.Name)
+	cert := kernel.Sign(a.priv, kernel.Measure(app.Secure.Name(), image))
+	return k.Attest(app.Secure.Name(), image, cert)
+}
+
+// InitTenant initializes both processes' address spaces of one application
+// on an already-configured machine — the multi-app co-residency setup the
+// scenario engine uses to populate a shared machine with every resident
+// tenant's pages, so that cluster resizes re-home (and purge) state
+// proportional to the real co-resident footprint. Unlike setup it builds
+// no IPC ring: phase completions are measured by the replay path on fresh
+// machines, while the shared machine carries the reconfiguration costs.
+func InitTenant(m *sim.Machine, app *workload.App) error {
+	if err := app.Validate(); err != nil {
+		return err
+	}
+	app.Insecure.Init(m, m.NewSpace(app.Insecure.Name(), arch.Insecure))
+	app.Secure.Init(m, m.NewSpace(app.Secure.Name(), arch.Secure))
+	return nil
 }
 
 // setup builds the machine, configures the model, initializes both

@@ -28,6 +28,7 @@ import (
 	"ironhide/internal/heuristic"
 	"ironhide/internal/metrics"
 	"ironhide/internal/runner"
+	"ironhide/internal/scenario"
 	"ironhide/internal/trace"
 	"ironhide/internal/workload"
 )
@@ -603,6 +604,26 @@ func Sweep(cfg arch.Config, ec Config, rounds []int, w io.Writer) ([]SweepPoint,
 		return nil, err
 	}
 	return rep.Points, nil
+}
+
+// BuildScenario runs the multi-tenant dynamic-reconfiguration timeline
+// (internal/scenario): a seeded schedule of app arrivals, departures and
+// load shifts over one shared machine, with kernel-budgeted cluster
+// resizes charging the real purge costs. The timeline derives from
+// Config.BaseSeed; Config.Apps restricts the tenant pool.
+func BuildScenario(cfg arch.Config, ec Config) (*scenario.Report, error) {
+	spec := scenario.Spec{Seed: ec.seed(), Scale: ec.scale(), Events: 8}
+	// Config.Apps carries paper labels; the scenario pool wants the
+	// file-safe aliases. Unknown names fail loudly — a silently
+	// substituted default pool would report on the wrong tenants.
+	for _, name := range ec.Apps {
+		e, ok := apps.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown application %q", name)
+		}
+		spec.Apps = append(spec.Apps, e.Alias)
+	}
+	return scenario.Run(cfg, spec, scenario.Options{Workers: ec.workers()})
 }
 
 // BuildAttack mounts the Prime+Probe covert channel under every model

@@ -1,0 +1,124 @@
+package metrics_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ironhide/internal/experiments"
+	"ironhide/internal/metrics"
+	"ironhide/internal/scenario"
+)
+
+// -update regenerates the committed golden files from the fixtures:
+//
+//	go test ./internal/metrics -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files from the current emitter output")
+
+// scenarioFixture is a hand-built scenario report covering every field
+// class the emitters render: resizes, a budget denial, context-switch
+// purges, multi-tenant phases, and the totals. A fixture (rather than an
+// engine run) keeps the goldens pinned to the presentation layer alone —
+// simulator changes must not churn them.
+func scenarioFixture() *scenario.Report {
+	return &scenario.Report{
+		Name:       "scenario",
+		Title:      "Multi-tenant dynamic-reconfiguration timeline",
+		Model:      "IRONHIDE",
+		Seed:       42,
+		Scale:      0.25,
+		Apps:       []string{"aes-query", "tc-graph"},
+		MaxTenants: 3,
+		Phases: []scenario.Phase{
+			{
+				Index: 0, Event: "arrive aes-query", Tenants: []string{"aes-query"},
+				BindingFrom: 32, BindingTo: 24, CoresMoved: 8, PagesMoved: 96,
+				PurgeCycles: 443520,
+				Runs: []scenario.TenantRun{
+					{App: "aes-query", Weight: 1, Seed: 101, SecureCores: 24, CompletionCycles: 1250000},
+				},
+				PhaseCycles: 1693520,
+			},
+			{
+				Index: 1, Event: "load-shift aes-query x2", Tenants: []string{"aes-query"},
+				BindingFrom: 24, BindingTo: 24, BudgetDenied: true,
+				Runs: []scenario.TenantRun{
+					{App: "aes-query", Weight: 2, Seed: 102, SecureCores: 24, CompletionCycles: 1250000},
+				},
+				PhaseCycles: 1250000,
+			},
+			{
+				Index: 2, Event: "arrive tc-graph", Tenants: []string{"aes-query", "tc-graph"},
+				BindingFrom: 24, BindingTo: 25, CoresMoved: 1, PagesMoved: 12,
+				PurgeCycles: 103440, CtxSwitchCycles: 176000,
+				Runs: []scenario.TenantRun{
+					{App: "aes-query", Weight: 2, Seed: 103, SecureCores: 25, CompletionCycles: 1244000},
+					{App: "tc-graph", Weight: 1, Seed: 104, SecureCores: 25, CompletionCycles: 2731000},
+				},
+				PhaseCycles: 4254440,
+			},
+		},
+		TotalCycles:      7197960,
+		TotalPurgeCycles: 722960,
+		Reconfigs:        2,
+		Denied:           1,
+	}
+}
+
+// fig1aFixture pins an existing report shape alongside the new one, so a
+// presentation regression in either direction trips the goldens.
+func fig1aFixture() *experiments.Fig1aReport {
+	return &experiments.Fig1aReport{
+		Name:  "fig1a",
+		Title: "Figure 1(a): normalized geomean completion time (insecure baseline = 1.0)",
+		Rows: []experiments.Fig1aRow{
+			{Model: "Insecure", Normalized: 1, Paper: "1.00"},
+			{Model: "SGX", Normalized: 1.3341, Paper: "~1.33"},
+			{Model: "MI6", Normalized: 2.2489, Paper: "~2.25"},
+			{Model: "IRONHIDE", Normalized: 1.1072, Paper: "~1.1 (20% better than SGX)"},
+		},
+	}
+}
+
+func TestGoldenEmitters(t *testing.T) {
+	fixtures := []struct {
+		label string
+		rep   metrics.Tabular
+	}{
+		{"scenario_report", scenarioFixture()},
+		{"fig1a_report", fig1aFixture()},
+	}
+	for _, fx := range fixtures {
+		for _, format := range metrics.Formats() {
+			t.Run(fx.label+"/"+format, func(t *testing.T) {
+				emit, ext, err := metrics.EmitterFor(format)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := emit(&buf, fx.rep); err != nil {
+					t.Fatal(err)
+				}
+				path := filepath.Join("testdata", fx.label+ext)
+				if *update {
+					if err := os.MkdirAll("testdata", 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (run with -update to create the golden)", err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatalf("%s emission diverged from %s:\n--- got ---\n%s\n--- want ---\n%s\n(run with -update if the change is intended)",
+						format, path, buf.Bytes(), want)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Typed scenario report: the measurement half of a multi-tenant timeline
+// run, rendered by the pluggable text/CSV/JSON emitters in
+// internal/metrics. The JSON form is the determinism contract of the
+// engine — identical seeds must produce byte-identical encodings — so
+// every field is populated by deterministic computation and every slice
+// is ordered by construction, never by map iteration.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"ironhide/internal/metrics"
+)
+
+// TenantRun is one resident application's measured share of a phase.
+type TenantRun struct {
+	App              string  `json:"app"`
+	Weight           float64 `json:"weight"`
+	Seed             int64   `json:"seed"`
+	SecureCores      int     `json:"secure_cores"`
+	CompletionCycles int64   `json:"completion_cycles"`
+	RouteViolations  int64   `json:"route_violations"`
+}
+
+// Phase is the accounting of one timeline event: the event itself, the
+// resulting cluster resize (or its denial by the kernel's budget), the
+// purge costs charged on the shared machine, and the per-tenant phase
+// completions at the installed binding.
+type Phase struct {
+	Index   int      `json:"index"`
+	Event   string   `json:"event"`
+	Tenants []string `json:"tenants"`
+
+	BindingFrom  int  `json:"binding_from"`
+	BindingTo    int  `json:"binding_to"`
+	CoresMoved   int  `json:"cores_moved"`
+	PagesMoved   int  `json:"pages_moved"`
+	BudgetDenied bool `json:"budget_denied,omitempty"`
+
+	// PurgeCycles is the dynamic-hardware-isolation stall of this phase's
+	// resize: private L1/TLB flushes of every core that changed domains,
+	// the L2 re-allocation page re-homing (vacated slices are
+	// flush-and-invalidated), and the kernel orchestration overhead.
+	PurgeCycles int64 `json:"purge_cycles"`
+	// CtxSwitchCycles charges the purges between mutually distrusting
+	// secure processes time-sharing the secure cluster within the phase
+	// (and the scrub of a departing tenant's state).
+	CtxSwitchCycles int64 `json:"ctx_switch_cycles"`
+
+	Runs []TenantRun `json:"runs"`
+
+	// PhaseCycles is the phase's wall-clock on the shared machine: the
+	// resize stall, the context-switch purges, and the tenants' serialized
+	// completions (secure processes time-share the secure cluster).
+	PhaseCycles int64 `json:"phase_cycles"`
+}
+
+// Report is the outcome of one scenario run. Same seed ⇒ byte-identical
+// JSON encoding, under -race and across replay.
+type Report struct {
+	Name  string `json:"name"`
+	Title string `json:"title"`
+
+	Model      string   `json:"model"`
+	Seed       int64    `json:"seed"`
+	Scale      float64  `json:"scale"`
+	Apps       []string `json:"apps"`
+	MaxTenants int      `json:"max_tenants"`
+
+	Phases []Phase `json:"phases"`
+
+	TotalCycles      int64 `json:"total_cycles"`
+	TotalPurgeCycles int64 `json:"total_purge_cycles"`
+	Reconfigs        int   `json:"reconfigs"`
+	Denied           int   `json:"denied"`
+	RouteViolations  int64 `json:"route_violations"`
+}
+
+// ReportName implements metrics.Tabular.
+func (r *Report) ReportName() string { return r.Name }
+
+// ReportTitle implements metrics.Tabular.
+func (r *Report) ReportTitle() string { return r.Title }
+
+// Sections implements metrics.Tabular: the phase timeline, then the
+// per-tenant runs, then the totals.
+func (r *Report) Sections() []metrics.Section {
+	timeline := metrics.Section{
+		Caption: fmt.Sprintf("timeline (model %s, seed %d, scale %g):", r.Model, r.Seed, r.Scale),
+		Columns: []string{"phase", "event", "tenants", "binding", "moved", "pages", "purge", "ctx-switch", "phase cycles"},
+	}
+	for _, p := range r.Phases {
+		binding := fmt.Sprintf("%d->%d", p.BindingFrom, p.BindingTo)
+		if p.BudgetDenied {
+			binding += " DENIED"
+		}
+		timeline.Rows = append(timeline.Rows, []string{
+			fmt.Sprintf("%d", p.Index), p.Event, strings.Join(p.Tenants, "+"), binding,
+			fmt.Sprintf("%d", p.CoresMoved), fmt.Sprintf("%d", p.PagesMoved),
+			fmt.Sprintf("%d", p.PurgeCycles), fmt.Sprintf("%d", p.CtxSwitchCycles),
+			fmt.Sprintf("%d", p.PhaseCycles),
+		})
+	}
+
+	runs := metrics.Section{
+		Caption: "per-tenant phase completions:",
+		Columns: []string{"phase", "application", "weight", "secure cores", "completion"},
+	}
+	for _, p := range r.Phases {
+		for _, t := range p.Runs {
+			runs.Rows = append(runs.Rows, []string{
+				fmt.Sprintf("%d", p.Index), t.App, metrics.F(t.Weight),
+				fmt.Sprintf("%d", t.SecureCores), fmt.Sprintf("%d", t.CompletionCycles),
+			})
+		}
+	}
+
+	totals := metrics.Section{Notes: []string{
+		fmt.Sprintf("total: %d cycles over %d phases; purge %d cycles (%s of total); %d resizes, %d denied by the reconfiguration budget",
+			r.TotalCycles, len(r.Phases), r.TotalPurgeCycles, metrics.Pct(r.purgeShare()), r.Reconfigs, r.Denied),
+		fmt.Sprintf("route violations: %d (contained routing must keep this at zero)", r.RouteViolations),
+	}}
+	return []metrics.Section{timeline, runs, totals}
+}
+
+func (r *Report) purgeShare() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.TotalPurgeCycles) / float64(r.TotalCycles)
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -172,5 +173,107 @@ func TestCacheKeepsPendingEntries(t *testing.T) {
 	_, hit, err := c.GetOrCapture(context.Background(), key("a", 1), nil)
 	if err != nil || !hit {
 		t.Fatalf("hit=%v err=%v, want the pending capture to have survived eviction", hit, err)
+	}
+}
+
+// TestCacheRaceColdKeysVsEviction is the concurrency stress gate (run
+// under -race in CI): a wave of cold requests on distinct keys — far more
+// than the capacity — races LRU eviction against in-flight singleflight
+// captures, while a second wave arrives mid-capture and must coalesce.
+// Every caller must receive the trace for its own key, each key must be
+// captured exactly once, and the cache must shed its overage once the
+// captures settle.
+func TestCacheRaceColdKeysVsEviction(t *testing.T) {
+	const (
+		keys     = 8
+		capacity = 2
+	)
+	c := NewTraceCache(capacity)
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(keys)
+	var captures [keys]atomic.Int64
+	captureFor := func(k int64) func() (*trace.Trace, error) {
+		first := true
+		return func() (*trace.Trace, error) {
+			if first {
+				// Only the cold wave's captures hold the gate; a re-capture
+				// after a (legal) post-settle eviction returns immediately.
+				first = false
+				started.Done()
+				<-release
+			}
+			captures[k].Add(1)
+			return &trace.Trace{App: fmt.Sprintf("app-%d", k), Scale: 1}, nil
+		}
+	}
+
+	var wg sync.WaitGroup
+	check := func(k int64) {
+		defer wg.Done()
+		tr, _, err := c.GetOrCapture(context.Background(), key("a", k), captureFor(k))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if want := fmt.Sprintf("app-%d", k); tr.App != want {
+			t.Errorf("key %d received trace %q", k, tr.App)
+		}
+	}
+	// Cold wave: every key in flight at once, 4x over capacity.
+	for k := int64(0); k < keys; k++ {
+		wg.Add(1)
+		go check(k)
+	}
+	started.Wait() // all captures are now pending; cache is over capacity
+	// Second wave: must coalesce onto the pending captures, never trigger
+	// its own (the gate would deadlock any non-coalesced second capture,
+	// because its `started.Done()` has nobody left to wait for it).
+	for k := int64(0); k < keys; k++ {
+		wg.Add(1)
+		go check(k)
+	}
+	for c.Stats().Coalesced < keys {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for k := range captures {
+		if got := captures[k].Load(); got != 1 {
+			t.Fatalf("key %d captured %d times, want exactly 1 (in-flight entries must never be evicted)", k, got)
+		}
+	}
+	st := c.Stats()
+	if st.Size > capacity {
+		t.Fatalf("stats %+v: settled cache above capacity", st)
+	}
+	if st.Captures != keys {
+		t.Fatalf("stats %+v: %d captures for %d distinct keys", st, st.Captures, keys)
+	}
+
+	// Aftermath: concurrent gets over rotating keys race eviction on a
+	// tiny cache; every caller must still get its own key's trace.
+	for round := 0; round < 4; round++ {
+		for k := int64(0); k < keys; k++ {
+			wg.Add(1)
+			go func(k int64) {
+				defer wg.Done()
+				tr, _, err := c.GetOrCapture(context.Background(), key("a", k), func() (*trace.Trace, error) {
+					return &trace.Trace{App: fmt.Sprintf("app-%d", k), Scale: 1}, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := fmt.Sprintf("app-%d", k); tr.App != want {
+					t.Errorf("key %d received trace %q", k, tr.App)
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Size > capacity {
+		t.Fatalf("stats %+v: cache above capacity after settling", st)
 	}
 }

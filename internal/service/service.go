@@ -14,8 +14,10 @@
 //	                 completion and overhead breakdown (spatial models)
 //	POST /v1/run     full driver Result JSON, byte-identical to the batch
 //	                 path for the same (app, model, scale, seed)
-//	POST /v1/grid    a batch of cells fanned out over the runner pool
-//	GET  /v1/status  uptime, in-flight counts, trace-cache stats
+//	POST /v1/grid     a batch of cells fanned out over the runner pool
+//	POST /v1/scenario a multi-tenant dynamic-reconfiguration timeline
+//	                  (internal/scenario) run over the shared trace cache
+//	GET  /v1/status   uptime, in-flight counts, trace-cache stats
 //
 // Responses to identical queries are byte-identical (the simulation is
 // deterministic and cache metadata travels in the X-Ironhide-Cache
@@ -40,6 +42,7 @@ import (
 	"ironhide/internal/driver"
 	"ironhide/internal/enclave"
 	"ironhide/internal/runner"
+	"ironhide/internal/scenario"
 	"ironhide/internal/trace"
 )
 
@@ -69,6 +72,7 @@ type Server struct {
 
 	served                                    atomic.Int64
 	inflightSearch, inflightRun, inflightGrid atomic.Int64
+	inflightScenario                          atomic.Int64
 }
 
 // New builds a Server over the configuration.
@@ -86,6 +90,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	s.mux.HandleFunc("POST /v1/scenario", s.handleScenario)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	return s
 }
@@ -212,9 +217,10 @@ type StatusResponse struct {
 
 // InFlightStats counts requests currently executing per endpoint.
 type InFlightStats struct {
-	Search int64 `json:"search"`
-	Run    int64 `json:"run"`
-	Grid   int64 `json:"grid"`
+	Search   int64 `json:"search"`
+	Run      int64 `json:"run"`
+	Grid     int64 `json:"grid"`
+	Scenario int64 `json:"scenario"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -488,14 +494,70 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// MaxScenarioEvents bounds one /v1/scenario timeline.
+const MaxScenarioEvents = 64
+
+// ScenarioRequest is /v1/scenario's body: a scenario.Spec plus the
+// request deadline.
+type ScenarioRequest struct {
+	scenario.Spec
+	// TimeoutMs caps this request (0 = the server default).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	s.inflightScenario.Add(1)
+	defer s.inflightScenario.Add(-1)
+	var req ScenarioRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Fail fast on client mistakes: the timeline length, plus everything
+	// Spec.Validate can reject without simulating (model, application
+	// pool, and explicit-timeline semantics).
+	if n := len(req.Spec.Timeline); n > MaxScenarioEvents || (n == 0 && req.Spec.Events > MaxScenarioEvents) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("timeline exceeds the %d-event limit", MaxScenarioEvents))
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	respond(ctx, w, func() outcome {
+		// Phases reuse per-application traces through the shared LRU cache;
+		// scenario traces are seed-independent (the seed steers the
+		// timeline and attestation keys, never the recorded stream), so
+		// they are cached under seed 0 and shared across scenario seeds.
+		captured := false
+		opts := scenario.Options{
+			Workers: s.cfg.GridWorkers,
+			TraceFor: func(entry apps.Entry, scale float64) (*trace.Trace, error) {
+				tr, hit, err := s.cache.GetOrCapture(ctx, TraceKey{App: entry.Name, Scale: scale}, func() (*trace.Trace, error) {
+					return driver.CaptureTrace(s.cfg.Arch, entry.Factory, driver.Options{Scale: scale})
+				})
+				if !hit {
+					captured = true
+				}
+				return tr, err
+			},
+		}
+		rep, err := scenario.Run(s.cfg.Arch, req.Spec, opts)
+		return outcome{withCache: true, hit: !captured, body: rep, err: err}
+	})
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatusResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Served:        s.served.Load(),
 		InFlight: InFlightStats{
-			Search: s.inflightSearch.Load(),
-			Run:    s.inflightRun.Load(),
-			Grid:   s.inflightGrid.Load(),
+			Search:   s.inflightSearch.Load(),
+			Run:      s.inflightRun.Load(),
+			Grid:     s.inflightGrid.Load(),
+			Scenario: s.inflightScenario.Load(),
 		},
 		Cache: s.cache.Stats(),
 	})

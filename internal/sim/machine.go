@@ -23,11 +23,14 @@ import (
 )
 
 // pageInfo records where a physical page lives: its DRAM region (hence
-// memory controller) and its home L2 slice.
+// memory controller) and its home L2 slice. A retired page (an unmapped
+// departed tenant's) keeps its slot — page numbers are positional — but
+// is no longer accessible or rehomed.
 type pageInfo struct {
-	domain arch.Domain
-	region int
-	home   cache.SliceID
+	domain  arch.Domain
+	region  int
+	home    cache.SliceID
+	retired bool
 }
 
 // Machine is the modeled multicore.
@@ -222,7 +225,7 @@ func (m *Machine) BlockedAccesses() int64 { return m.blockedAccesses }
 // PageOf exposes a page's placement (test and attack oracle).
 func (m *Machine) PageOf(addr arch.Addr) (domain arch.Domain, region int, home cache.SliceID, err error) {
 	pn := uint64(addr) / uint64(m.Cfg.PageSize)
-	if pn >= uint64(len(m.pages)) {
+	if pn >= uint64(len(m.pages)) || m.pages[pn].retired {
 		return 0, 0, 0, fmt.Errorf("sim: address %#x is unmapped", addr)
 	}
 	pi := m.pages[pn]
@@ -235,7 +238,7 @@ func (m *Machine) PageOf(addr arch.Addr) (domain arch.Domain, region int, home c
 // controller state along the way.
 func (m *Machine) Access(core arch.CoreID, addr arch.Addr, write bool, d arch.Domain, now int64) int64 {
 	pn := uint64(addr) / uint64(m.Cfg.PageSize)
-	if pn >= uint64(len(m.pages)) {
+	if pn >= uint64(len(m.pages)) || m.pages[pn].retired {
 		panic(fmt.Sprintf("sim: access to unmapped address %#x", addr))
 	}
 	pg := m.pages[pn]

@@ -85,6 +85,35 @@ func (m *Machine) MCsOf(d arch.Domain) []mem.ControllerID {
 	return out
 }
 
+// TotalPages returns the number of pages mapped on the machine (retired
+// or not); with RetirePages it lets a caller bracket the pages one
+// process's initialization mapped.
+func (m *Machine) TotalPages() int { return len(m.pages) }
+
+// RetirePages unmaps the pages in the global page-number range [lo, hi)
+// — the kernel tearing down a departed process's address space. Retired
+// pages are dropped from their domain's rehoming set, so later dynamic
+// isolation events move only the resident footprint; their page-table
+// entries stay tombstoned (page numbers are positional), and any access
+// to them is the usual unmapped-address panic.
+func (m *Machine) RetirePages(lo, hi uint64) {
+	if hi > uint64(len(m.pages)) {
+		hi = uint64(len(m.pages))
+	}
+	for pn := lo; pn < hi; pn++ {
+		m.pages[pn] = pageInfo{retired: true}
+	}
+	for d := range m.pagesByDom {
+		kept := m.pagesByDom[d][:0]
+		for _, pn := range m.pagesByDom[d] {
+			if pn < lo || pn >= hi {
+				kept = append(kept, pn)
+			}
+		}
+		m.pagesByDom[d] = kept
+	}
+}
+
 // RehomeResult summarizes a dynamic-hardware-isolation page migration.
 type RehomeResult struct {
 	PagesMoved  int

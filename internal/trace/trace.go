@@ -100,38 +100,74 @@ func (p *Proc) round(r int) *decodedRound {
 func (p *Proc) decodeAll() {
 	p.decoded = make([]decodedRound, len(p.Rounds))
 	for r, stream := range p.Rounds {
-		d := &p.decoded[r]
-		var prev int64
-		i := 0
-		for i < len(stream) {
-			code := stream[i]
-			i++
-			var arg int64
-			switch code {
-			case opCompute:
-				u, w := binary.Uvarint(stream[i:])
-				if w <= 0 {
-					panic(fmt.Sprintf("trace: truncated operand for %s round %d at %d", p.Name, r, i))
-				}
-				i += w
-				arg = int64(u)
-			case opRead, opWrite, opAtomic:
-				v, w := binary.Varint(stream[i:])
-				if w <= 0 {
-					panic(fmt.Sprintf("trace: truncated operand for %s round %d at %d", p.Name, r, i))
-				}
-				i += w
-				prev += v
-				arg = prev
-			case opBarrier, opParFor, opChunk, opSeq:
-				// markers carry no operand
-			default:
-				panic(fmt.Sprintf("trace: corrupt stream for %s round %d: opcode %d at %d", p.Name, r, code, i-1))
+		d, err := decodeStream(stream)
+		if err != nil {
+			// A recorder-produced stream can never be corrupt; replaying a
+			// hand-mangled one is a programming error, not an input error.
+			panic(fmt.Sprintf("trace: %s round %d: %v", p.Name, r, err))
+		}
+		p.decoded[r] = d
+	}
+}
+
+// decodeStream decodes one round's operation stream into its flat replay
+// form, reporting corruption (unknown opcodes, truncated or overlong
+// varint operands) as an error. It is total: no input byte sequence makes
+// it panic — the fuzz targets hold it to that.
+func decodeStream(stream []byte) (decodedRound, error) {
+	var d decodedRound
+	var prev int64
+	i := 0
+	for i < len(stream) {
+		code := stream[i]
+		i++
+		var arg int64
+		switch code {
+		case opCompute:
+			u, w := binary.Uvarint(stream[i:])
+			if w <= 0 {
+				return decodedRound{}, fmt.Errorf("bad operand for opcode %d at offset %d", code, i)
 			}
-			d.ops = append(d.ops, code)
-			d.args = append(d.args, arg)
+			i += w
+			arg = int64(u)
+		case opRead, opWrite, opAtomic:
+			v, w := binary.Varint(stream[i:])
+			if w <= 0 {
+				return decodedRound{}, fmt.Errorf("bad operand for opcode %d at offset %d", code, i)
+			}
+			i += w
+			prev += v
+			arg = prev
+		case opBarrier, opParFor, opChunk, opSeq:
+			// markers carry no operand
+		default:
+			return decodedRound{}, fmt.Errorf("unknown opcode %d at offset %d", code, i-1)
+		}
+		d.ops = append(d.ops, code)
+		d.args = append(d.args, arg)
+	}
+	return d, nil
+}
+
+// ValidateStream checks that b is a well-formed operation stream — the
+// codec-level guard a service can run on untrusted trace bytes before
+// handing them to the replayer (whose internal decoder treats corruption
+// as a panic-worthy invariant violation).
+func ValidateStream(b []byte) error {
+	_, err := decodeStream(b)
+	return err
+}
+
+// Validate checks every round of both processes' operation streams.
+func (t *Trace) Validate() error {
+	for _, p := range []*Proc{&t.Ins, &t.Sec} {
+		for r, stream := range p.Rounds {
+			if err := ValidateStream(stream); err != nil {
+				return fmt.Errorf("trace: %s round %d: %w", p.Name, r, err)
+			}
 		}
 	}
+	return nil
 }
 
 // Bytes returns the encoded size of the process's operation streams.
