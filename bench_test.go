@@ -26,6 +26,7 @@ package ironhide
 import (
 	"io"
 	"testing"
+	"time"
 
 	"ironhide/internal/apps"
 	"ironhide/internal/arch"
@@ -40,6 +41,7 @@ import (
 	"ironhide/internal/runner"
 	"ironhide/internal/scenario"
 	"ironhide/internal/sim"
+	"ironhide/internal/trace"
 )
 
 func benchCfg() arch.Config { return arch.TileGx72Scaled(12) }
@@ -130,6 +132,12 @@ func BenchmarkAccessHotPath(b *testing.B) {
 // execution) versus replayed from a shared capture. The replay/live ratio
 // is the record-once/replay-many speedup; the capture sub-benchmark costs
 // the one-time recording itself.
+//
+// Live and capture execute different round counts (a probe runs one
+// profile window; a capture records the whole run so every later probe and
+// the measured run can replay it), so the sub-benchmarks also report
+// ns/round — that is the per-round recording overhead the recorder fast
+// path drives below live execution.
 func BenchmarkSearchProbe(b *testing.B) {
 	cfg := arch.TileGx72()
 	entry, ok := apps.ByName("<AES, QUERY>")
@@ -139,18 +147,27 @@ func BenchmarkSearchProbe(b *testing.B) {
 	opts := driver.Options{Scale: 0.2}
 	const candidate = 24
 	b.Run("live", func(b *testing.B) {
+		start := time.Now()
 		for i := 0; i < b.N; i++ {
 			if _, err := driver.Profile(cfg, core.New(32), entry.Factory, opts, candidate); err != nil {
 				b.Fatal(err)
 			}
 		}
+		pr := entry.Factory().Scaled(0.2).ProfileRounds
+		rounds := pr/4 + pr // warmup + measured, mirroring profileLen
+		b.ReportMetric(float64(time.Since(start).Nanoseconds())/float64(b.N*rounds), "ns/round")
 	})
 	b.Run("capture", func(b *testing.B) {
+		start := time.Now()
+		rounds := 0
 		for i := 0; i < b.N; i++ {
-			if _, err := driver.CaptureTrace(cfg, entry.Factory, opts); err != nil {
+			tr, err := driver.CaptureTrace(cfg, entry.Factory, opts)
+			if err != nil {
 				b.Fatal(err)
 			}
+			rounds = len(tr.Ins.Rounds)
 		}
+		b.ReportMetric(float64(time.Since(start).Nanoseconds())/float64(b.N*rounds), "ns/round")
 	})
 	b.Run("replay", func(b *testing.B) {
 		tr, err := driver.CaptureTrace(cfg, entry.Factory, opts)
@@ -473,5 +490,52 @@ func BenchmarkHeadlineClaim(b *testing.B) {
 			b.Fatalf("MI6/IRONHIDE = %.2f; the headline claim collapsed", ratio)
 		}
 		b.ReportMetric(ratio, "mi6-vs-ironhide")
+	}
+}
+
+// BenchmarkTraceDecode measures the varint codec over a real capture —
+// the validation cost a service pays on every untrusted trace upload, and
+// the first of the two once-per-trace passes replay performs (decode, then
+// lowering).
+func BenchmarkTraceDecode(b *testing.B) {
+	entry, ok := apps.ByName("<AES, QUERY>")
+	if !ok {
+		b.Fatal("catalog missing app")
+	}
+	tr, err := driver.CaptureTrace(arch.TileGx72(), entry.Factory, driver.Options{Scale: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(tr.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayPlanLower measures the full once-per-(trace, gang size)
+// plan build — decode, marker stripping, and run-table resolution — that
+// every probe of a binding search amortizes. Clone presents the trace the
+// way a fresh deserialization would, so each iteration pays the whole
+// pipeline.
+func BenchmarkReplayPlanLower(b *testing.B) {
+	entry, ok := apps.ByName("<AES, QUERY>")
+	if !ok {
+		b.Fatal("catalog missing app")
+	}
+	tr, err := driver.CaptureTrace(arch.TileGx72(), entry.Factory, driver.Options{Scale: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := tr.Clone()
+		for _, p := range []*trace.Proc{&cp.Ins, &cp.Sec} {
+			if n := p.Lower(24); n == 0 {
+				b.Fatal("empty plan")
+			}
+		}
 	}
 }

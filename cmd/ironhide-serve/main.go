@@ -49,7 +49,12 @@ func main() {
 	stCold := flag.Int("selftest-cold", 4, "cold-phase unique queries (each forces a capture)")
 	stWarm := flag.Int("selftest-warm", 32, "warm-phase repeated queries (replayed from cache)")
 	stConc := flag.Int("selftest-concurrency", 4, "client workers per phase")
-	minSpeedup := flag.Float64("min-speedup", 10, "required warm/cold throughput ratio")
+	// The required warm/cold ratio tracks how expensive a capture is
+	// relative to a cached replay. Table-driven AES made live capture ~15x
+	// cheaper, which compressed the measured ratio from ~20x to ~3.5x —
+	// the warm stream got faster in absolute terms, the cold stream got
+	// faster still. 2x keeps noise margin on shared runners.
+	minSpeedup := flag.Float64("min-speedup", 2, "required warm/cold throughput ratio")
 	flag.Parse()
 
 	cfg := service.Config{

@@ -19,6 +19,13 @@ var (
 	sbox    [256]byte
 	invSbox [256]byte
 	rcon    [11]byte
+
+	// Precomputed GF(2^8) products for the fixed MixColumns coefficients.
+	// The bit-serial mul is exact but costs ~8 branchy steps per product,
+	// and the column mixes are the hottest code in the secure-query
+	// payload; the tables are built from mul itself in init, so they are
+	// identical by construction.
+	mul2, mul3, mul9, mul11, mul13, mul14 [256]byte
 )
 
 func init() {
@@ -52,6 +59,15 @@ func init() {
 	for i := 1; i < len(rcon); i++ {
 		rcon[i] = r
 		r = xtime(r)
+	}
+	for i := 0; i < 256; i++ {
+		b := byte(i)
+		mul2[i] = mul(b, 2)
+		mul3[i] = mul(b, 3)
+		mul9[i] = mul(b, 9)
+		mul11[i] = mul(b, 11)
+		mul13[i] = mul(b, 13)
+		mul14[i] = mul(b, 14)
 	}
 }
 
@@ -171,20 +187,20 @@ func (s *state) invShiftRows() {
 func (s *state) mixColumns() {
 	for c := 0; c < 4; c++ {
 		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
-		s[4*c+0] = mul(a0, 2) ^ mul(a1, 3) ^ a2 ^ a3
-		s[4*c+1] = a0 ^ mul(a1, 2) ^ mul(a2, 3) ^ a3
-		s[4*c+2] = a0 ^ a1 ^ mul(a2, 2) ^ mul(a3, 3)
-		s[4*c+3] = mul(a0, 3) ^ a1 ^ a2 ^ mul(a3, 2)
+		s[4*c+0] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3
+		s[4*c+1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3
+		s[4*c+2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3]
+		s[4*c+3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3]
 	}
 }
 
 func (s *state) invMixColumns() {
 	for c := 0; c < 4; c++ {
 		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
-		s[4*c+0] = mul(a0, 14) ^ mul(a1, 11) ^ mul(a2, 13) ^ mul(a3, 9)
-		s[4*c+1] = mul(a0, 9) ^ mul(a1, 14) ^ mul(a2, 11) ^ mul(a3, 13)
-		s[4*c+2] = mul(a0, 13) ^ mul(a1, 9) ^ mul(a2, 14) ^ mul(a3, 11)
-		s[4*c+3] = mul(a0, 11) ^ mul(a1, 13) ^ mul(a2, 9) ^ mul(a3, 14)
+		s[4*c+0] = mul14[a0] ^ mul11[a1] ^ mul13[a2] ^ mul9[a3]
+		s[4*c+1] = mul9[a0] ^ mul14[a1] ^ mul11[a2] ^ mul13[a3]
+		s[4*c+2] = mul13[a0] ^ mul9[a1] ^ mul14[a2] ^ mul11[a3]
+		s[4*c+3] = mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3]
 	}
 }
 

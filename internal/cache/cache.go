@@ -33,12 +33,17 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// line is one cache line. A line is resident iff its generation stamp
+// matches the cache's current generation: invalidating the whole cache is
+// then a single generation bump instead of a multi-megabyte memclr, which
+// is what lets a pooled machine reset in O(1) per cache. A zero line
+// (gen 0) is never resident because the cache generation starts at 1.
 type line struct {
 	tag   uint64
-	valid bool
-	dirty bool
-	owner arch.Domain
+	gen   uint64
 	used  uint64 // LRU timestamp
+	owner arch.Domain
+	dirty bool
 }
 
 // Cache is a single set-associative write-back cache with LRU replacement.
@@ -47,9 +52,18 @@ type Cache struct {
 	ways      int
 	lineShift uint
 	setMask   uint64
+	gen       uint64
 	lines     []line // sets*ways, set-major
-	clock     uint64
-	stats     Stats
+	// Per-set MRU filter: the last line hit or installed in each set.
+	// Hot access patterns rotate over a handful of lines (a state buffer,
+	// a lookup table, a round key) that map to different sets, so each
+	// set's single entry hits where any fixed-size global filter would
+	// thrash. Entries always point into lines (never reallocated) and are
+	// validated by the generation stamp, so invalidation — Reset, flushes,
+	// way eviction — never needs to touch this table.
+	mruOf []*line
+	clock uint64
+	stats Stats
 }
 
 // New builds a cache of the given total size in bytes with the given
@@ -71,7 +85,9 @@ func New(size, ways, lineSize int) *Cache {
 		ways:      ways,
 		lineShift: uint(bits.TrailingZeros(uint(lineSize))),
 		setMask:   uint64(sets - 1),
+		gen:       1,
 		lines:     make([]line, sets*ways),
+		mruOf:     make([]*line, sets),
 	}
 }
 
@@ -90,6 +106,17 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the counters without touching cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// Reset restores the cache to its freshly built state — empty, zero
+// counters, zero clock — in O(1): residency is generational, so bumping
+// the generation invalidates every line without touching the line array.
+// The machine arena relies on this to recycle ~10 MB of cache state per
+// probe without a memclr.
+func (c *Cache) Reset() {
+	c.gen++
+	c.clock = 0
+	c.stats = Stats{}
+}
+
 // SetIndexOf exposes the set an address maps to; the attack harness uses
 // it to build eviction sets exactly the way Prime+Probe does.
 func (c *Cache) SetIndexOf(addr arch.Addr) int {
@@ -105,11 +132,44 @@ type Result struct {
 	VictimWasOther bool        // displaced line belonged to a different domain
 }
 
+// HitMRU is the inlineable fast half of Access: it performs the access
+// entirely — with state updates identical to Access's hit path — iff the
+// line is its set's most recently used, and reports whether it did.
+// Callers on the simulator's hot path try it first and fall back to the
+// full Access; any touch pattern rotating over set-distinct lines then
+// costs no function call.
+func (c *Cache) HitMRU(addr arch.Addr, write bool) bool {
+	tag := uint64(addr) >> c.lineShift
+	l := c.mruOf[tag&c.setMask]
+	if l == nil || l.tag != tag || l.gen != c.gen {
+		return false
+	}
+	c.clock++
+	c.stats.Accesses++
+	l.used = c.clock
+	if write {
+		l.dirty = true
+	}
+	return true
+}
+
 // Access looks up addr, installing the line on a miss (write-allocate),
 // marking it dirty on writes, and returns what happened. owner records the
 // security domain performing the access so that purge-completeness and
 // interference invariants can be checked afterwards.
 func (c *Cache) Access(addr arch.Addr, write bool, owner arch.Domain) Result {
+	// The MRU filter first: it skips the set scan with state updates
+	// identical to the scan's hit path, so it is behaviorally invisible.
+	if c.HitMRU(addr, write) {
+		return Result{Hit: true}
+	}
+	return c.ScanAccess(addr, write, owner)
+}
+
+// ScanAccess is Access without the MRU pre-check, for callers that just
+// tried HitMRU themselves and missed; retrying the filter here would be
+// pure waste on the miss path. State evolution is identical to Access.
+func (c *Cache) ScanAccess(addr arch.Addr, write bool, owner arch.Domain) Result {
 	c.clock++
 	c.stats.Accesses++
 	tag := uint64(addr) >> c.lineShift
@@ -122,14 +182,15 @@ func (c *Cache) Access(addr arch.Addr, write bool, owner arch.Domain) Result {
 	var oldest uint64 = ^uint64(0)
 	for w := range set {
 		l := &set[w]
-		if l.valid && l.tag == tag {
+		if l.gen == c.gen && l.tag == tag {
 			l.used = c.clock
 			if write {
 				l.dirty = true
 			}
+			c.mruOf[tag&c.setMask] = l
 			return Result{Hit: true}
 		}
-		if !l.valid {
+		if l.gen != c.gen {
 			if free < 0 {
 				free = w
 			}
@@ -156,7 +217,8 @@ func (c *Cache) Access(addr arch.Addr, write bool, owner arch.Domain) Result {
 		}
 		c.stats.Evictions++
 	}
-	set[slot] = line{tag: tag, valid: true, dirty: write, owner: owner, used: c.clock}
+	set[slot] = line{tag: tag, gen: c.gen, dirty: write, owner: owner, used: c.clock}
+	c.mruOf[tag&c.setMask] = &set[slot]
 	return res
 }
 
@@ -167,7 +229,7 @@ func (c *Cache) Contains(addr arch.Addr) bool {
 	base := int(tag&c.setMask) * c.ways
 	for w := 0; w < c.ways; w++ {
 		l := &c.lines[base+w]
-		if l.valid && l.tag == tag {
+		if l.gen == c.gen && l.tag == tag {
 			return true
 		}
 	}
@@ -186,7 +248,7 @@ func (c *Cache) SetOccupancyByOwner(set int, owner arch.Domain) int {
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
 		l := &c.lines[base+w]
-		if l.valid && l.owner == owner {
+		if l.gen == c.gen && l.owner == owner {
 			n++
 		}
 	}
@@ -197,7 +259,7 @@ func (c *Cache) SetOccupancyByOwner(set int, owner arch.Domain) int {
 func (c *Cache) OccupancyByOwner(owner arch.Domain) int {
 	n := 0
 	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].owner == owner {
+		if c.lines[i].gen == c.gen && c.lines[i].owner == owner {
 			n++
 		}
 	}
@@ -208,7 +270,7 @@ func (c *Cache) OccupancyByOwner(owner arch.Domain) int {
 func (c *Cache) Occupancy() int {
 	n := 0
 	for i := range c.lines {
-		if c.lines[i].valid {
+		if c.lines[i].gen == c.gen {
 			n++
 		}
 	}
@@ -239,7 +301,7 @@ func (c *Cache) EvictLRUWays(n int) int {
 			var oldest uint64 = ^uint64(0)
 			for w := 0; w < c.ways; w++ {
 				l := &c.lines[base+w]
-				if l.valid && l.used < oldest {
+				if l.gen == c.gen && l.used < oldest {
 					oldest = l.used
 					victim = base + w
 				}
@@ -263,7 +325,7 @@ func (c *Cache) FlushInvalidate() FlushResult {
 	var fr FlushResult
 	for i := range c.lines {
 		l := &c.lines[i]
-		if !l.valid {
+		if l.gen != c.gen {
 			continue
 		}
 		fr.Lines++
@@ -271,8 +333,8 @@ func (c *Cache) FlushInvalidate() FlushResult {
 			fr.WrittenBack++
 		}
 	}
-	// Invalidate with one bulk memclr instead of a per-line store.
-	clear(c.lines)
+	// Invalidate with one generation bump instead of a per-line store.
+	c.gen++
 	c.stats.Flushes++
 	return fr
 }

@@ -48,14 +48,21 @@ func (HashForHome) HomeFor(page uint64, candidates []SliceID) SliceID {
 // pins each page to that one slice, modeling tmc_alloc_set_home. Pages can
 // later be re-homed (tmc_alloc_unmap + set_home + remap) during IRONHIDE's
 // dynamic hardware isolation events.
+//
+// Page numbers are positional (the machine hands them out sequentially
+// from zero), so the page→home table is a dense slice indexed by page
+// rather than a map — allocation-free on the probe hot path after the
+// first growth, and O(1) per lookup. Entry 0 means "no home"; a homed
+// page stores home+1.
 type LocalHome struct {
 	next  int
-	homes map[uint64]SliceID
+	homes []int32 // page -> home slice + 1; 0 = unhomed
+	count int
 }
 
 // NewLocalHome returns an empty local-homing policy.
 func NewLocalHome() *LocalHome {
-	return &LocalHome{homes: make(map[uint64]SliceID)}
+	return &LocalHome{}
 }
 
 // Name implements HomePolicy.
@@ -63,38 +70,52 @@ func (p *LocalHome) Name() string { return "local-homing" }
 
 // HomeFor implements HomePolicy.
 func (p *LocalHome) HomeFor(page uint64, candidates []SliceID) SliceID {
-	if h, ok := p.homes[page]; ok {
-		return h
+	if page < uint64(len(p.homes)) {
+		if h := p.homes[page]; h != 0 {
+			return SliceID(h - 1)
+		}
 	}
 	if len(candidates) == 0 {
 		panic("cache: local homing with no candidate slices")
 	}
 	h := candidates[p.next%len(candidates)]
 	p.next++
-	p.homes[page] = h
+	p.set(page, h)
 	return h
+}
+
+func (p *LocalHome) set(page uint64, h SliceID) {
+	for uint64(len(p.homes)) <= page {
+		p.homes = append(p.homes, 0)
+	}
+	if p.homes[page] == 0 {
+		p.count++
+	}
+	p.homes[page] = int32(h) + 1
 }
 
 // Rehome moves a page to a new slice, returning its previous home. It is
 // the mechanism behind the one-time cluster reconfiguration: the secure
 // kernel unmaps the page, sets the new home, and remaps it.
 func (p *LocalHome) Rehome(page uint64, to SliceID) (from SliceID, err error) {
-	from, ok := p.homes[page]
-	if !ok {
+	if page >= uint64(len(p.homes)) || p.homes[page] == 0 {
 		return 0, fmt.Errorf("cache: page %#x has no home to move", page)
 	}
-	p.homes[page] = to
+	from = SliceID(p.homes[page] - 1)
+	p.homes[page] = int32(to) + 1
 	return from, nil
 }
 
 // HomeOf reports the current home of a page, if it has one.
 func (p *LocalHome) HomeOf(page uint64) (SliceID, bool) {
-	h, ok := p.homes[page]
-	return h, ok
+	if page >= uint64(len(p.homes)) || p.homes[page] == 0 {
+		return 0, false
+	}
+	return SliceID(p.homes[page] - 1), true
 }
 
 // Pages returns the number of homed pages.
-func (p *LocalHome) Pages() int { return len(p.homes) }
+func (p *LocalHome) Pages() int { return p.count }
 
 // SliceArray is the distributed shared L2: one slice per core. Replication
 // is disabled (as in the MI6 baseline and IRONHIDE): a line lives only in
@@ -136,5 +157,12 @@ func (sa *SliceArray) AggregateStats() Stats {
 func (sa *SliceArray) ResetStats() {
 	for _, s := range sa.slices {
 		s.ResetStats()
+	}
+}
+
+// Reset restores every slice to its freshly built state (see Cache.Reset).
+func (sa *SliceArray) Reset() {
+	for _, s := range sa.slices {
+		s.Reset()
 	}
 }

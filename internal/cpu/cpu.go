@@ -52,6 +52,12 @@ func (c *Core) FlushPipeline() int64 {
 // Flushes reports how many pipeline flushes this core performed.
 func (c *Core) Flushes() int64 { return c.flushes }
 
+// Reset zeroes the core's clock and flush counter (machine arena reuse).
+func (c *Core) Reset() {
+	c.cycles = 0
+	c.flushes = 0
+}
+
 // Verdict is the outcome of the speculative-access hardware check.
 type Verdict int
 
@@ -99,16 +105,39 @@ func (s *SpecChecker) SetEnabled(on bool) { s.enabled = on }
 // insecure world's regions (that is how the shared IPC buffer works — the
 // shared data is considered insecure, and no secure data ever leaves the
 // secure regions).
+// It is shaped as an inlineable wrapper: a disabled checker and the
+// common secure-side access decide without a function call; only an
+// enabled insecure-side access consults the owner oracle.
 func (s *SpecChecker) Check(d arch.Domain, region int) Verdict {
 	if !s.enabled {
 		return Allowed
 	}
 	s.checked++
-	if d == arch.Insecure && s.ownerOf(region) == arch.Secure {
+	if d == arch.Insecure {
+		return s.checkInsecure(region)
+	}
+	return Allowed
+}
+
+// checkInsecure is the slow half of Check: an enabled checker validating
+// an insecure-side access against the region-owner oracle. Kept
+// out-of-line so Check itself stays within the inlining budget.
+//
+//go:noinline
+func (s *SpecChecker) checkInsecure(region int) Verdict {
+	if s.ownerOf(region) == arch.Secure {
 		s.blocked++
 		return Blocked
 	}
 	return Allowed
+}
+
+// Reset disables the check and zeroes its counters — the freshly built
+// state a recycled machine must present before a model reconfigures it.
+func (s *SpecChecker) Reset() {
+	s.enabled = false
+	s.blocked = 0
+	s.checked = 0
 }
 
 // Blocked reports how many accesses the check discarded.

@@ -147,12 +147,19 @@ type liveSource struct {
 
 func (s liveSource) fresh() *workload.App { return s.factory().Scaled(s.scale) }
 
-// traceSource builds replay applications over one shared capture.
+// traceSource builds replay applications over one shared capture —
+// batch-kernel replays by default, per-op reference replays on request.
 type traceSource struct {
-	tr *trace.Trace
+	tr        *trace.Trace
+	reference bool
 }
 
-func (s traceSource) fresh() *workload.App { return s.tr.NewApp() }
+func (s traceSource) fresh() *workload.App {
+	if s.reference {
+		return s.tr.NewReferenceApp()
+	}
+	return s.tr.NewApp()
+}
 
 // Run executes the application under the model and returns the result.
 //
@@ -193,6 +200,21 @@ func RunTrace(cfg arch.Config, model enclave.Model, tr *trace.Trace, opts Option
 	return runSpatial(cfg, model, src, opts)
 }
 
+// RunTraceReference is RunTrace through the per-op reference replayer
+// instead of the pre-lowered batch kernel. It exists for the equivalence
+// gate: batch replay must be byte-identical to the reference interpreter,
+// which in turn is gated byte-identical to live execution.
+func RunTraceReference(cfg arch.Config, model enclave.Model, tr *trace.Trace, opts Options) (*Result, error) {
+	if tr.Scale != opts.scale() {
+		return nil, fmt.Errorf("driver: trace captured at scale %g cannot replay at scale %g", tr.Scale, opts.scale())
+	}
+	src := traceSource{tr: tr, reference: true}
+	if model.Temporal() {
+		return runTemporal(cfg, model, src, opts)
+	}
+	return runSpatial(cfg, model, src, opts)
+}
+
 // CaptureTrace records one full execution of the application at
 // opts.Scale: enough rounds for the longest consumer (the measured run or
 // the longest profiling probe), captured on a scratch machine. The
@@ -214,7 +236,12 @@ func CaptureTrace(cfg arch.Config, factory AppFactory, opts Options) (*trace.Tra
 		rounds = pw + pr
 	}
 	sec, ins := clusterCores(m, recApp, cfg.Cores()/2)
+	// Capture needs the event sequence, not the cycle model: the recorded
+	// stream is timing-independent, so run the payload in lite-exec mode
+	// (flat L1-hit charges, no machine walk).
+	m.SetLiteExec(true)
 	spatialCompletion(m, ring, recApp, sec, ins, 0, rounds)
+	releaseMachine(m)
 	return rec.Trace(), nil
 }
 
@@ -318,7 +345,7 @@ func InitTenant(m *sim.Machine, app *workload.App) error {
 // setup builds the machine, configures the model, initializes both
 // processes and the shared IPC ring.
 func setup(cfg arch.Config, model enclave.Model, app *workload.App) (*sim.Machine, *ipc.Ring, error) {
-	m, err := sim.NewMachine(cfg)
+	m, err := acquireMachine(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -407,8 +434,10 @@ func runTemporal(cfg arch.Config, model enclave.Model, src appSource, opts Optio
 	}
 
 	var measureStart int64
+	gIns := m.NewGroup(arch.Insecure, insCores, 0)
+	gSec := m.NewGroup(arch.Secure, secCores, 0)
 	runRound := func(r int, measured bool) {
-		gIns := m.NewGroup(arch.Insecure, insCores, t)
+		gIns.Restart(t)
 		if r > 0 {
 			_ = ring.Recv(gIns.Ctx(0), app.ReplyBytes)
 		}
@@ -417,7 +446,7 @@ func runTemporal(cfg arch.Config, model enclave.Model, src appSource, opts Optio
 		t = gIns.MaxCycles()
 
 		charge(model.EnterSecure(m))
-		gSec := m.NewGroup(arch.Secure, secCores, t)
+		gSec.Restart(t)
 		_ = ring.Recv(gSec.Ctx(0), app.PayloadBytes)
 		app.Secure.Round(gSec, r)
 		_ = ring.Send(gSec.Ctx(0), app.ReplyBytes)
@@ -443,6 +472,7 @@ func runTemporal(cfg arch.Config, model enclave.Model, src appSource, opts Optio
 	res.Interactions = interactions
 	res.SecureCores = len(secCores)
 	collectStats(m, res)
+	releaseMachine(m)
 	return res, nil
 }
 
@@ -452,8 +482,10 @@ func spatialCompletion(m *sim.Machine, ring *ipc.Ring, app *workload.App, secCor
 	var pEnd, cEnd int64
 	var interactions int64
 	var measureStart int64
+	gP := m.NewGroup(arch.Insecure, insCores, 0)
+	gC := m.NewGroup(arch.Secure, secCores, 0)
 	runRound := func(r int, measured bool) {
-		gP := m.NewGroup(arch.Insecure, insCores, pEnd)
+		gP.Restart(pEnd)
 		if r > 0 {
 			_ = ring.Recv(gP.Ctx(0), app.ReplyBytes)
 		}
@@ -465,7 +497,7 @@ func spatialCompletion(m *sim.Machine, ring *ipc.Ring, app *workload.App, secCor
 		if cEnd > cStart {
 			cStart = cEnd
 		}
-		gC := m.NewGroup(arch.Secure, secCores, cStart)
+		gC.Restart(cStart)
 		_ = ring.Recv(gC.Ctx(0), app.PayloadBytes)
 		app.Secure.Round(gC, r)
 		_ = ring.Send(gC.Ctx(0), app.ReplyBytes)
@@ -538,6 +570,7 @@ func profile(cfg arch.Config, model enclave.Model, src appSource, secureCores in
 	}
 	sec, ins := clusterCores(m, app, secureCores)
 	completion, _ := spatialCompletion(m, ring, app, sec, ins, warm, rounds)
+	releaseMachine(m)
 	return float64(completion), nil
 }
 
@@ -673,6 +706,7 @@ func runSpatial(cfg arch.Config, model enclave.Model, src appSource, opts Option
 	res.Interactions = interactions
 	res.SecureCores = binding
 	collectStats(m, res)
+	releaseMachine(m)
 	return res, nil
 }
 

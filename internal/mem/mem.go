@@ -68,6 +68,14 @@ func (c *Controller) ResetStats() {
 	c.stats = Stats{BusyUntil: q}
 }
 
+// Reset restores the controller to its freshly built state: empty queue,
+// idle server, zero counters. The machine arena uses it when recycling a
+// machine between probes.
+func (c *Controller) Reset() {
+	c.queued = 0
+	c.stats = Stats{}
+}
+
 // Access services one memory request issued at time now (cycles) and
 // returns the latency observed by the requester: queueing delay (if the
 // controller is busy), service occupancy, and the DRAM row access.

@@ -7,20 +7,44 @@ import (
 	"ironhide/internal/arch"
 )
 
-// Recorder receives the operation stream of a recorded gang: the memory
-// and compute charges each thread issues plus the structural markers
-// (ParFor chunks, Seq sections, barriers) a replayer needs to redistribute
-// the same stream over a gang of any size. Implementations must be cheap —
-// the hooks sit on the execution hot path.
-type Recorder interface {
-	RecordCompute(n int64)
-	RecordRead(addr arch.Addr)
-	RecordWrite(addr arch.Addr)
-	RecordAtomic(addr arch.Addr)
-	RecordBarrier()
-	RecordParFor()
-	RecordChunk()
-	RecordSeq()
+// Event codes of the execution event stream. They double as the opcodes of
+// the trace IR (the trace package aliases them), so a captured event
+// buffer batch-encodes without translation.
+const (
+	EvCompute byte = iota
+	EvRead
+	EvWrite
+	EvAtomic
+	EvBarrier
+	EvParFor
+	EvChunk
+	EvSeq
+)
+
+// EventBuf is the buffered capture sink: parallel code/argument arrays the
+// gang appends every charge and structural marker to while attached. It
+// replaces the former per-op Recorder interface — appending two array
+// elements inlines into the execution hot path, so capture costs barely
+// more than live execution; the varint encode happens once per round in a
+// batch pass over the buffer (see trace.Recorder).
+type EventBuf struct {
+	Codes []byte
+	Args  []int64 // address for memory ops, cycles for computes, 0 for markers
+}
+
+// Reset empties the buffer, keeping capacity.
+func (b *EventBuf) Reset() {
+	b.Codes = b.Codes[:0]
+	b.Args = b.Args[:0]
+}
+
+// Len returns the number of buffered events.
+func (b *EventBuf) Len() int { return len(b.Codes) }
+
+// push appends one event.
+func (b *EventBuf) push(code byte, arg int64) {
+	b.Codes = append(b.Codes, code)
+	b.Args = append(b.Args, arg)
 }
 
 // Ctx is the execution context of one simulated thread: a core binding, a
@@ -30,7 +54,7 @@ type Recorder interface {
 type Ctx struct {
 	m      *Machine
 	group  *Group
-	rec    Recorder
+	evb    *EventBuf
 	TID    int
 	Core   arch.CoreID
 	Domain arch.Domain
@@ -45,38 +69,46 @@ func (c *Ctx) Cycles() int64 { return c.cycles }
 
 // Compute charges n cycles of pure computation.
 func (c *Ctx) Compute(n int64) {
-	if c.rec != nil {
-		c.rec.RecordCompute(n)
+	if c.evb != nil {
+		c.evb.push(EvCompute, n)
 	}
 	c.cycles += n
 }
 
 // Read charges one load of addr.
 func (c *Ctx) Read(addr arch.Addr) {
-	if c.rec != nil {
-		c.rec.RecordRead(addr)
+	if c.evb != nil {
+		c.evb.push(EvRead, int64(addr))
 	}
 	c.read(addr)
 }
 
-// read charges the load without recording (Atomic records itself as one
+// read charges the load without capturing (Atomic captures itself as one
 // composite operation).
 func (c *Ctx) read(addr arch.Addr) {
 	c.Reads++
+	if c.m.liteExec {
+		c.cycles += c.m.Cfg.L1HitLat
+		return
+	}
 	c.cycles += c.m.Access(c.Core, addr, false, c.Domain, c.cycles)
 }
 
 // Write charges one store to addr.
 func (c *Ctx) Write(addr arch.Addr) {
-	if c.rec != nil {
-		c.rec.RecordWrite(addr)
+	if c.evb != nil {
+		c.evb.push(EvWrite, int64(addr))
 	}
 	c.write(addr)
 }
 
-// write charges the store without recording.
+// write charges the store without capturing.
 func (c *Ctx) write(addr arch.Addr) {
 	c.Writes++
+	if c.m.liteExec {
+		c.cycles += c.m.Cfg.L1HitLat
+		return
+	}
 	c.cycles += c.m.Access(c.Core, addr, true, c.Domain, c.cycles)
 }
 
@@ -87,8 +119,8 @@ func (c *Ctx) write(addr arch.Addr) {
 // operation, so a replayer re-applies it from the replay gang size rather
 // than the recorded one.
 func (c *Ctx) Atomic(addr arch.Addr) {
-	if c.rec != nil {
-		c.rec.RecordAtomic(addr)
+	if c.evb != nil {
+		c.evb.push(EvAtomic, int64(addr))
 	}
 	c.read(addr)
 	c.write(addr)
@@ -105,29 +137,69 @@ type Group struct {
 	Domain arch.Domain
 	ctxs   []*Ctx
 	start  int64
-	rec    Recorder
+	evb    *EventBuf
 }
 
 // NewGroup pins one thread on each of the given cores, all starting their
 // clocks at start.
+//
+// Groups come from a per-machine arena: Machine.Reset rewinds a cursor and
+// subsequent NewGroup calls hand back the same Group and Ctx objects,
+// reinitialized field-for-field, so a pooled machine's steady state — a
+// binding search creating a few gangs per probe — allocates nothing here.
 func (m *Machine) NewGroup(d arch.Domain, cores []arch.CoreID, start int64) *Group {
 	if len(cores) == 0 {
 		panic("sim: group needs at least one core")
 	}
-	g := &Group{m: m, Domain: d, start: start}
+	var g *Group
+	if m.groupNext < len(m.groupArena) {
+		g = m.groupArena[m.groupNext]
+	} else {
+		g = &Group{}
+		m.groupArena = append(m.groupArena, g)
+	}
+	m.groupNext++
+	g.m = m
+	g.Domain = d
+	g.start = start
+	g.evb = nil
+	if cap(g.ctxs) < len(cores) {
+		g.ctxs = make([]*Ctx, len(cores))
+	} else {
+		g.ctxs = g.ctxs[:len(cores)]
+	}
 	for i, core := range cores {
-		g.ctxs = append(g.ctxs, &Ctx{m: m, group: g, TID: i, Core: core, Domain: d, cycles: start})
+		c := g.ctxs[i]
+		if c == nil {
+			c = &Ctx{}
+			g.ctxs[i] = c
+		}
+		*c = Ctx{m: m, group: g, TID: i, Core: core, Domain: d, cycles: start}
 	}
 	return g
 }
 
-// SetRecorder attaches (or, with nil, detaches) a recorder to the gang
-// and all its threads. While attached, every charge and structural event
-// is reported to it in execution order.
-func (g *Group) SetRecorder(rec Recorder) {
-	g.rec = rec
+// SetEventBuf attaches (or, with nil, detaches) a capture buffer to the
+// gang and all its threads. While attached, every charge and structural
+// event is appended to it in execution order.
+func (g *Group) SetEventBuf(b *EventBuf) {
+	g.evb = b
 	for _, c := range g.ctxs {
-		c.rec = rec
+		c.evb = b
+	}
+}
+
+// Capturing reports whether an event buffer is attached.
+func (g *Group) Capturing() bool { return g.evb != nil }
+
+// Restart rewinds every thread clock to start for a new execution phase,
+// reusing the gang's contexts. The driver recycles two gangs across all of
+// a run's rounds instead of allocating fresh Ctx sets per round; thread
+// Reads/Writes counters keep accumulating.
+func (g *Group) Restart(start int64) {
+	g.start = start
+	for _, c := range g.ctxs {
+		c.cycles = start
 	}
 }
 
@@ -155,8 +227,8 @@ func (g *Group) MaxCycles() int64 {
 // clock plus the barrier cost, which grows logarithmically with gang size
 // (a tournament barrier).
 func (g *Group) Barrier() {
-	if g.rec != nil {
-		g.rec.RecordBarrier()
+	if g.evb != nil {
+		g.evb.push(EvBarrier, 0)
 	}
 	target := g.MaxCycles() + g.BarrierCost()
 	for _, c := range g.ctxs {
@@ -179,8 +251,8 @@ func (g *Group) BarrierCost() int64 {
 // concurrent execution that keeps runs reproducible. A barrier closes the
 // loop.
 func (g *Group) ParFor(n, chunk int, body func(c *Ctx, i int)) {
-	if g.rec != nil {
-		g.rec.RecordParFor()
+	if g.evb != nil {
+		g.evb.push(EvParFor, 0)
 	}
 	if n <= 0 {
 		g.Barrier()
@@ -192,8 +264,8 @@ func (g *Group) ParFor(n, chunk int, body func(c *Ctx, i int)) {
 	t := len(g.ctxs)
 	nChunks := (n + chunk - 1) / chunk
 	for k := 0; k < nChunks; k++ {
-		if g.rec != nil {
-			g.rec.RecordChunk()
+		if g.evb != nil {
+			g.evb.push(EvChunk, 0)
 		}
 		c := g.ctxs[k%t]
 		hi := (k + 1) * chunk
@@ -210,11 +282,68 @@ func (g *Group) ParFor(n, chunk int, body func(c *Ctx, i int)) {
 // Seq executes body on thread 0 alone, then synchronizes the gang — the
 // serial sections of a kernel.
 func (g *Group) Seq(body func(c *Ctx)) {
-	if g.rec != nil {
-		g.rec.RecordSeq()
+	if g.evb != nil {
+		g.evb.push(EvSeq, 0)
 	}
 	body(g.ctxs[0])
 	g.Barrier()
+}
+
+// ReplayRun charges a pre-lowered run of same-thread operations — parallel
+// code/argument arrays holding only EvCompute/EvRead/EvWrite/EvAtomic —
+// through thread tid. This is the batch replay kernel: thread state
+// (clock, counters) is held in locals across the run and the per-op Ctx
+// dispatch, capture checks, and marker interpretation of the generic path
+// all disappear. The replay-plan lowering in the trace package guarantees
+// the semantics match the per-op path exactly: thread switches and
+// barriers only ever occur between runs.
+func (g *Group) ReplayRun(tid int, codes []byte, args []int64) {
+	c := g.ctxs[tid]
+	if g.evb != nil || c.m.liteExec {
+		// Recording a replay (re-capture) and lite execution both need the
+		// per-op path's bookkeeping; neither is replay-throughput critical.
+		for j, code := range codes {
+			switch code {
+			case EvCompute:
+				c.Compute(args[j])
+			case EvRead:
+				c.Read(arch.Addr(args[j]))
+			case EvWrite:
+				c.Write(arch.Addr(args[j]))
+			case EvAtomic:
+				c.Atomic(arch.Addr(args[j]))
+			}
+		}
+		return
+	}
+	m := c.m
+	core := c.Core
+	d := c.Domain
+	cycles := c.cycles
+	var reads, writes int64
+	contention := int64(len(g.ctxs)-1) * m.Cfg.AtomicContention
+	for j, code := range codes {
+		switch code {
+		case EvRead:
+			reads++
+			cycles += m.Access(core, arch.Addr(args[j]), false, d, cycles)
+		case EvWrite:
+			writes++
+			cycles += m.Access(core, arch.Addr(args[j]), true, d, cycles)
+		case EvCompute:
+			cycles += args[j]
+		case EvAtomic:
+			a := arch.Addr(args[j])
+			reads++
+			writes++
+			cycles += m.Access(core, a, false, d, cycles)
+			cycles += m.Access(core, a, true, d, cycles)
+			cycles += contention
+		}
+	}
+	c.cycles = cycles
+	c.Reads += reads
+	c.Writes += writes
 }
 
 // AdvanceTo moves every thread clock forward to at least t (a gang

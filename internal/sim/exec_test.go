@@ -297,46 +297,46 @@ func TestDeterministicExecution(t *testing.T) {
 	}
 }
 
-// logRecorder captures the event stream as strings for inspection.
-type logRecorder struct{ events []string }
+// formatEvents renders an event buffer as strings for inspection.
+func formatEvents(b *EventBuf) []string {
+	names := map[byte]string{
+		EvCompute: "compute", EvRead: "read", EvWrite: "write", EvAtomic: "atomic",
+		EvBarrier: "barrier", EvParFor: "parfor", EvChunk: "chunk", EvSeq: "seq",
+	}
+	out := make([]string, 0, b.Len())
+	for i, code := range b.Codes {
+		switch code {
+		case EvBarrier, EvParFor, EvChunk, EvSeq:
+			out = append(out, names[code])
+		default:
+			out = append(out, fmt.Sprintf("%s:%d", names[code], b.Args[i]))
+		}
+	}
+	return out
+}
 
-func (r *logRecorder) RecordCompute(n int64) {
-	r.events = append(r.events, fmt.Sprintf("compute:%d", n))
-}
-func (r *logRecorder) RecordRead(a arch.Addr) { r.events = append(r.events, fmt.Sprintf("read:%d", a)) }
-func (r *logRecorder) RecordWrite(a arch.Addr) {
-	r.events = append(r.events, fmt.Sprintf("write:%d", a))
-}
-func (r *logRecorder) RecordAtomic(a arch.Addr) {
-	r.events = append(r.events, fmt.Sprintf("atomic:%d", a))
-}
-func (r *logRecorder) RecordBarrier() { r.events = append(r.events, "barrier") }
-func (r *logRecorder) RecordParFor()  { r.events = append(r.events, "parfor") }
-func (r *logRecorder) RecordChunk()   { r.events = append(r.events, "chunk") }
-func (r *logRecorder) RecordSeq()     { r.events = append(r.events, "seq") }
-
-// The recorder hooks must see every construct exactly once, in execution
+// The capture buffer must see every construct exactly once, in execution
 // order, with Atomic as one composite event (not its constituent
-// read+write) and nothing emitted after the recorder detaches.
+// read+write) and nothing appended after the buffer detaches.
 func TestRecorderEventStream(t *testing.T) {
 	m := newTestMachine(t)
 	pinToSlice0(m)
 	buf := m.NewSpace("p", arch.Insecure).Alloc("a", 4096)
 	g := m.NewGroup(arch.Insecure, cores(0, 1), 0)
-	rec := &logRecorder{}
-	g.SetRecorder(rec)
+	var evb EventBuf
+	g.SetEventBuf(&evb)
 	g.ParFor(3, 2, func(c *Ctx, i int) {
 		c.Read(buf.Addr(i * 64))
 	})
 	g.Seq(func(c *Ctx) { c.Atomic(buf.Addr(0)) })
-	g.SetRecorder(nil)
-	g.ParFor(2, 1, func(c *Ctx, i int) { c.Compute(1) }) // not recorded
+	g.SetEventBuf(nil)
+	g.ParFor(2, 1, func(c *Ctx, i int) { c.Compute(1) }) // not captured
 	want := []string{
 		"parfor", "chunk", "read:0", "read:64", "chunk", "read:128", "barrier",
 		"seq", "atomic:0", "barrier",
 	}
-	if !reflect.DeepEqual(rec.events, want) {
-		t.Fatalf("event stream\n got %v\nwant %v", rec.events, want)
+	if got := formatEvents(&evb); !reflect.DeepEqual(got, want) {
+		t.Fatalf("event stream\n got %v\nwant %v", got, want)
 	}
 }
 

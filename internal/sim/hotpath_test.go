@@ -17,6 +17,15 @@ func buildEquivMachine(t *testing.T, secure int, materialized bool) (*Machine, B
 	if err != nil {
 		t.Fatal(err)
 	}
+	secBuf, insBuf := configEquivMachine(t, m, secure, materialized)
+	return m, secBuf, insBuf
+}
+
+// configEquivMachine applies the equivalence configuration to an existing
+// machine — fresh or recycled; the reset-purity test relies on the same
+// steps driving both to identical behavior.
+func configEquivMachine(t *testing.T, m *Machine, secure int, materialized bool) (Buffer, Buffer) {
+	t.Helper()
 	m.materializedRouting = materialized
 	if err := m.Part.AssignDomains(0b0011); err != nil {
 		t.Fatal(err)
@@ -46,7 +55,7 @@ func buildEquivMachine(t *testing.T, secure int, materialized bool) (*Machine, B
 		m.SetSlices(arch.Insecure, slices)
 		insBuf = m.NewSpace("ordinary", arch.Insecure).Alloc("data", 32*m.Cfg.PageSize)
 	}
-	return m, secBuf, insBuf
+	return secBuf, insBuf
 }
 
 // driveEquiv issues an identical access stream on the machine — reads and

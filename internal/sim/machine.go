@@ -13,6 +13,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ironhide/internal/arch"
 	"ironhide/internal/cache"
@@ -48,6 +49,15 @@ type Machine struct {
 
 	mcAttach []arch.Coord // mesh-edge attach point of each controller
 
+	// pageShift/coords are derived from Cfg once at construction so the
+	// access hot path divides and copies nothing: page numbers come from a
+	// shift (PageSize is validated power-of-two) and mesh coordinates from
+	// a flat table (Config.CoordOf's value receiver would copy the whole
+	// Config per call).
+	pageShift uint
+	coords    []arch.Coord
+	allSlices []cache.SliceID // every slice; the fresh machine's slice set
+
 	pages      []pageInfo
 	pagesByDom [2][]uint64
 
@@ -80,8 +90,22 @@ type Machine struct {
 	// byte-identical.
 	materializedRouting bool
 
+	// liteExec short-circuits every Ctx charge to a flat L1-hit latency,
+	// skipping the machine walk entirely. Trace capture uses it: the
+	// recorded op stream is timing-independent (kernels cannot observe
+	// latency), so capture needs the event sequence, not the cycle model.
+	liteExec bool
+
 	routeViolations int64
 	blockedAccesses int64
+
+	// Group arena: every Group (and its Ctx set) this machine has handed
+	// out, reissued in order after a Reset rewinds the cursor. NewGroup
+	// reinitializes a recycled group field-for-field, so reuse is invisible
+	// to callers; a pooled machine then serves a whole binding search
+	// without allocating gangs.
+	groupArena []*Group
+	groupNext  int
 }
 
 // routeDecision is one cached core-to-slice routing choice.
@@ -131,14 +155,19 @@ func NewMachine(cfg arch.Config) (*Machine, error) {
 		m.mcs[i] = mem.NewController(mem.ControllerID(i), cfg)
 		m.mcAttach[i] = mcAttachPoint(i, cfg)
 	}
-	all := make([]cache.SliceID, n)
-	for i := range all {
-		all[i] = cache.SliceID(i)
+	m.pageShift = uint(bits.TrailingZeros(uint(cfg.PageSize)))
+	m.coords = make([]arch.Coord, n)
+	for i := range m.coords {
+		m.coords[i] = cfg.CoordOf(arch.CoreID(i))
+	}
+	m.allSlices = make([]cache.SliceID, n)
+	for i := range m.allSlices {
+		m.allSlices[i] = cache.SliceID(i)
 	}
 	m.policy[arch.Insecure] = cache.HashForHome{}
 	m.policy[arch.Secure] = cache.HashForHome{}
-	m.slices[arch.Insecure] = all
-	m.slices[arch.Secure] = all
+	m.slices[arch.Insecure] = m.allSlices
+	m.slices[arch.Secure] = m.allSlices
 	m.split, _ = noc.NewSplit(0, cfg)
 	m.routeGen = 1
 	m.routeCache = make([]routeDecision, n*n)
@@ -147,6 +176,49 @@ func NewMachine(cfg arch.Config) (*Machine, error) {
 	}
 	return m, nil
 }
+
+// Reset restores the machine to its freshly built state — the insecure
+// baseline's all-shared view NewMachine constructs — without reallocating
+// any of its ~10 MB of cache, TLB, routing, and traffic state. Caches and
+// TLBs invalidate by generation bump (O(1) each), the route caches by the
+// shared route generation, and the page table truncates in place. The
+// driver's machine arena calls this between probes; the reset-purity test
+// gates it byte-identical to a fresh machine.
+func (m *Machine) Reset() {
+	for i := range m.l1 {
+		m.cores[i].Reset()
+		m.l1[i].Reset()
+		m.tlbs[i].Reset()
+	}
+	m.l2.Reset()
+	for _, c := range m.mcs {
+		c.Reset()
+	}
+	m.Mesh.ResetTraffic()
+	m.Part.Shared()
+	m.Spec.Reset()
+	m.pages = m.pages[:0]
+	m.pagesByDom[arch.Insecure] = m.pagesByDom[arch.Insecure][:0]
+	m.pagesByDom[arch.Secure] = m.pagesByDom[arch.Secure][:0]
+	m.policy[arch.Insecure] = cache.HashForHome{}
+	m.policy[arch.Secure] = cache.HashForHome{}
+	m.slices[arch.Insecure] = m.allSlices
+	m.slices[arch.Secure] = m.allSlices
+	m.regionRR = [2]int{}
+	m.split, _ = noc.NewSplit(0, m.Cfg)
+	m.routingIsolated = false
+	m.routeGen++
+	m.allocHook = nil
+	m.materializedRouting = false
+	m.liteExec = false
+	m.routeViolations = 0
+	m.blockedAccesses = 0
+	m.groupNext = 0
+}
+
+// SetLiteExec switches the flat-latency execution mode on or off (see the
+// liteExec field). Reset clears it.
+func (m *Machine) SetLiteExec(on bool) { m.liteExec = on }
 
 // mcAttachPoint places controllers on the outside edges, alternating top
 // and bottom so that the secure cluster (the row-major prefix, i.e. the
@@ -237,11 +309,11 @@ func (m *Machine) PageOf(addr arch.Addr) (domain arch.Domain, region int, home c
 // reference updates TLB, L1, home L2 slice, network traffic, and memory
 // controller state along the way.
 func (m *Machine) Access(core arch.CoreID, addr arch.Addr, write bool, d arch.Domain, now int64) int64 {
-	pn := uint64(addr) / uint64(m.Cfg.PageSize)
+	pn := uint64(addr) >> m.pageShift
 	if pn >= uint64(len(m.pages)) || m.pages[pn].retired {
 		panic(fmt.Sprintf("sim: access to unmapped address %#x", addr))
 	}
-	pg := m.pages[pn]
+	pg := &m.pages[pn]
 
 	// Hardware speculative-access check (MI6 / IRONHIDE): insecure
 	// accesses destined to secure DRAM regions are stalled and discarded
@@ -251,13 +323,21 @@ func (m *Machine) Access(core arch.CoreID, addr arch.Addr, write bool, d arch.Do
 		return m.Cfg.L1HitLat
 	}
 
+	// The MRU fast halves inline here, so the dominant replay pattern —
+	// repeated touches of the same page and line — completes without a
+	// function call past this point.
 	var lat int64
-	if !m.tlbs[core].Lookup(pn, d) {
+	t := m.tlbs[core]
+	if !t.HitMRU(pn) && !t.ScanLookup(pn, d) {
 		lat += m.Cfg.PageWalkLat
 	}
 
 	lat += m.Cfg.L1HitLat
-	r1 := m.l1[core].Access(addr, write, d)
+	l1 := m.l1[core]
+	if l1.HitMRU(addr, write) {
+		return lat
+	}
+	r1 := l1.ScanAccess(addr, write, d)
 	if r1.Hit {
 		return lat
 	}
@@ -265,8 +345,8 @@ func (m *Machine) Access(core arch.CoreID, addr arch.Addr, write bool, d arch.Do
 	// L1 miss: traverse the mesh to the home slice. Cross-domain traffic
 	// (the shared IPC buffer) is exempt from containment — it is the one
 	// packet class allowed to cross the cluster boundary.
-	src := m.Cfg.CoordOf(core)
-	dst := m.Cfg.CoordOf(arch.CoreID(pg.home))
+	src := m.coords[core]
+	dst := m.coords[pg.home]
 	lat += 2 * m.routeLat(src, dst, d, pg.domain) // request + response
 
 	lat += m.Cfg.L2HitLat

@@ -11,15 +11,22 @@ import (
 // defines the addresses those values live at, so every touch of the real
 // data can be charged to the timing model.
 type Buffer struct {
-	Name string
+	Name string // buffer name, unqualified; Proc scopes it
+	Proc string // owning process, "" for anonymous spaces
 	Base arch.Addr
 	Size int
 }
 
+// FullName returns the process-qualified buffer name for diagnostics. The
+// qualification is deferred to here so that Alloc itself — called on every
+// probe of a binding search when replay re-creates an app's address space —
+// stays allocation-free.
+func (b Buffer) FullName() string { return b.Proc + "/" + b.Name }
+
 // Addr returns the address of byte off within the buffer.
 func (b Buffer) Addr(off int) arch.Addr {
 	if off < 0 || off >= b.Size {
-		panic(fmt.Sprintf("sim: %s[%d] out of range [0,%d)", b.Name, off, b.Size))
+		panic(fmt.Sprintf("sim: %s[%d] out of range [0,%d)", b.FullName(), off, b.Size))
 	}
 	return b.Base + arch.Addr(off)
 }
@@ -82,7 +89,7 @@ func (as *AddressSpace) Alloc(name string, size int) Buffer {
 		m.pagesByDom[as.domain] = append(m.pagesByDom[as.domain], pn)
 	}
 	as.bytes += npages * ps
-	return Buffer{Name: as.proc + "/" + name, Base: base, Size: npages * ps}
+	return Buffer{Name: name, Proc: as.proc, Base: base, Size: npages * ps}
 }
 
 // PageCount returns the number of pages mapped for a domain.

@@ -14,14 +14,18 @@ import (
 // (any model, any binding — the stream is invariant to both), and read
 // the result from Trace().
 //
-// The recorder implements sim.Recorder; the wrapper processes attach it
-// to each gang for exactly the duration of the inner process's Round, so
+// Capture is buffered: the wrapper processes attach a sim.EventBuf to
+// each gang for exactly the duration of the inner process's Round — so
 // driver-issued traffic (the IPC ring operations around each round) is
-// excluded — the replayer's driver re-issues that traffic live.
+// excluded; the replayer's driver re-issues that traffic live. The hot
+// path therefore appends two array elements per op, and the varint
+// encoding below runs as one batch pass per round.
 type Recorder struct {
 	tr *Trace
 
-	cur     *Proc  // process whose round is being recorded
+	buf sim.EventBuf // per-round capture buffer, reused across rounds
+
+	cur     *Proc  // process whose round is being encoded
 	stream  []byte // the round's accumulating op stream
 	prev    int64  // last operand address (delta basis)
 	pending int64  // coalesced Compute cycles not yet flushed
@@ -77,6 +81,26 @@ func (r *Recorder) end(round int) {
 	r.cur, r.stream = nil, nil
 }
 
+// encode batch-encodes the captured event buffer into round's varint
+// stream — the once-per-round pass that replaces the former per-op
+// interface calls on the execution hot path.
+func (r *Recorder) encode(p *Proc, round int) {
+	r.begin(p, round)
+	// Pre-size for the common shape (opcode + short varint per op).
+	r.stream = make([]byte, 0, len(r.buf.Codes)*3)
+	for i, code := range r.buf.Codes {
+		switch code {
+		case opCompute:
+			r.RecordCompute(r.buf.Args[i])
+		case opRead, opWrite, opAtomic:
+			r.op(code, arch.Addr(r.buf.Args[i]))
+		default:
+			r.mark(code)
+		}
+	}
+	r.end(round)
+}
+
 // flush emits the coalesced Compute cycles accumulated since the last
 // non-Compute event.
 func (r *Recorder) flush() {
@@ -102,28 +126,28 @@ func (r *Recorder) mark(code byte) {
 	r.stream = append(r.stream, code)
 }
 
-// RecordCompute implements sim.Recorder.
+// RecordCompute accumulates compute cycles for coalesced emission.
 func (r *Recorder) RecordCompute(n int64) { r.pending += n }
 
-// RecordRead implements sim.Recorder.
+// RecordRead emits one load.
 func (r *Recorder) RecordRead(addr arch.Addr) { r.op(opRead, addr) }
 
-// RecordWrite implements sim.Recorder.
+// RecordWrite emits one store.
 func (r *Recorder) RecordWrite(addr arch.Addr) { r.op(opWrite, addr) }
 
-// RecordAtomic implements sim.Recorder.
+// RecordAtomic emits one composite read-modify-write.
 func (r *Recorder) RecordAtomic(addr arch.Addr) { r.op(opAtomic, addr) }
 
-// RecordBarrier implements sim.Recorder.
+// RecordBarrier emits a barrier marker.
 func (r *Recorder) RecordBarrier() { r.mark(opBarrier) }
 
-// RecordParFor implements sim.Recorder.
+// RecordParFor emits a ParFor-start marker.
 func (r *Recorder) RecordParFor() { r.mark(opParFor) }
 
-// RecordChunk implements sim.Recorder.
+// RecordChunk emits a chunk-boundary marker.
 func (r *Recorder) RecordChunk() { r.mark(opChunk) }
 
-// RecordSeq implements sim.Recorder.
+// RecordSeq emits a Seq-section marker.
 func (r *Recorder) RecordSeq() { r.mark(opSeq) }
 
 // recordProc wraps one side of the application: it forwards Init and
@@ -155,11 +179,12 @@ func (p *recordProc) Init(m *sim.Machine, space *sim.AddressSpace) {
 	m.SetAllocHook(nil)
 }
 
-// Round executes the real round with the gang's recorder attached.
+// Round executes the real round with the gang's capture buffer attached,
+// then batch-encodes the buffer into the round's stream.
 func (p *recordProc) Round(g *sim.Group, round int) {
-	p.rec.begin(p.proc, round)
-	g.SetRecorder(p.rec)
+	p.rec.buf.Reset()
+	g.SetEventBuf(&p.rec.buf)
 	p.inner.Round(g, round)
-	g.SetRecorder(nil)
-	p.rec.end(round)
+	g.SetEventBuf(nil)
+	p.rec.encode(p.proc, round)
 }

@@ -22,6 +22,15 @@
 // Group.ParFor does live. Atomic operations are recorded as one composite
 // op and re-applied with the *replay* gang's contention term; barrier
 // costs likewise come from the replay gang size.
+//
+// Replay does not interpret the markers per op. Each round is lowered
+// once into a flat SoA form (opcode/argument arrays with the markers
+// stripped into a positional skeleton), and per gang size that skeleton
+// resolves into maximal same-thread runs — so the inner loop is
+// sim.Group.ReplayRun charging a contiguous array slice, with no chunk%t
+// arithmetic, no per-op dispatch, and no capture checks. Plans are cached
+// on the Proc: all 63 Optimal-oracle probes and every concurrent scenario
+// tenant share one lowering.
 package trace
 
 import (
@@ -34,7 +43,9 @@ import (
 	"ironhide/internal/workload"
 )
 
-// Opcodes of the operation-stream IR. Operand encodings:
+// Opcodes of the operation-stream IR. They are identical to the execution
+// engine's event codes (sim.Ev*), so a captured event buffer encodes — and
+// a lowered plan replays — without translation. Operand encodings:
 //
 //	opCompute  uvarint cycle count (consecutive Computes are coalesced)
 //	opRead     zigzag varint delta from the previous operand address
@@ -46,14 +57,14 @@ import (
 //	           thread chunk%t of the replay gang
 //	opSeq      none — ops that follow run on thread 0
 const (
-	opCompute byte = iota
-	opRead
-	opWrite
-	opAtomic
-	opBarrier
-	opParFor
-	opChunk
-	opSeq
+	opCompute = sim.EvCompute
+	opRead    = sim.EvRead
+	opWrite   = sim.EvWrite
+	opAtomic  = sim.EvAtomic
+	opBarrier = sim.EvBarrier
+	opParFor  = sim.EvParFor
+	opChunk   = sim.EvChunk
+	opSeq     = sim.EvSeq
 )
 
 // Alloc is one recorded AddressSpace.Alloc call. Re-issuing the schedule
@@ -73,13 +84,25 @@ type Proc struct {
 	Allocs  []Alloc
 	Rounds  [][]byte
 
-	// decoded is the flat replay form of Rounds, built once on first
-	// replay: parallel opcode/argument arrays with absolute addresses.
-	// Probes replay a trace many times (up to 63 for the Optimal oracle,
-	// concurrently under a worker pool), so the varint decode cost is paid
-	// once, not per probe.
+	// decoded is the flat per-op form of Rounds, built once on first use:
+	// parallel opcode/argument arrays with absolute addresses, markers
+	// included. The reference (per-op) replayer and re-capture run from
+	// it; the lowering pass consumes it.
 	decodeOnce sync.Once
 	decoded    []decodedRound
+
+	// lowered strips the markers out of decoded into SoA op arrays plus a
+	// positional marker skeleton — the gang-size-independent part of the
+	// replay plan, shared by every gang's run table.
+	lowerOnce sync.Once
+	lowered   []loweredRound
+
+	// plans caches the per-gang-size run tables (see plan.go). Probes
+	// replay a trace many times (up to 63 for the Optimal oracle,
+	// concurrently under a worker pool), so each (trace, gang size) pays
+	// the lowering exactly once.
+	planMu sync.Mutex
+	plans  map[int]*gangPlan
 }
 
 // decodedRound holds one round's stream as parallel arrays: ops[j] is the
@@ -110,12 +133,33 @@ func (p *Proc) decodeAll() {
 	}
 }
 
+// countOps sizes a stream's decoded arrays exactly: one op per non-operand
+// byte. The scan only skips varint continuation bytes; validation is the
+// second pass's job, and malformed inputs just produce a harmless bound.
+func countOps(stream []byte) int {
+	n := 0
+	for i := 0; i < len(stream); {
+		code := stream[i]
+		i++
+		switch code {
+		case opCompute, opRead, opWrite, opAtomic:
+			for i < len(stream) && stream[i]&0x80 != 0 {
+				i++
+			}
+			i++
+		}
+		n++
+	}
+	return n
+}
+
 // decodeStream decodes one round's operation stream into its flat replay
 // form, reporting corruption (unknown opcodes, truncated or overlong
 // varint operands) as an error. It is total: no input byte sequence makes
 // it panic — the fuzz targets hold it to that.
 func decodeStream(stream []byte) (decodedRound, error) {
-	var d decodedRound
+	n := countOps(stream)
+	d := decodedRound{ops: make([]byte, 0, n), args: make([]int64, 0, n)}
 	var prev int64
 	i := 0
 	for i < len(stream) {
@@ -202,18 +246,51 @@ func (t *Trace) Captured() int { return len(t.Ins.Rounds) }
 // Bytes returns the total encoded size of both operation streams.
 func (t *Trace) Bytes() int { return t.Ins.Bytes() + t.Sec.Bytes() }
 
-// NewApp builds a workload.App whose processes replay the trace. The app
-// carries the recorded metadata (name, class, round counts, payload
-// sizes, thread preferences), so the driver runs it exactly like the
-// live application — through the same pipelines, rings, and models — at
-// a fraction of the cost. Replay processes are stateless reads of the
-// shared Trace, so any number of replay apps may run concurrently.
+// Clone returns a Trace sharing the encoded streams and metadata but none
+// of the decoded or pre-lowered replay caches — the state a fresh
+// deserialization would present. Benchmarks use it to measure the
+// once-per-trace decode and lowering cost.
+func (t *Trace) Clone() *Trace {
+	return &Trace{
+		App:           t.App,
+		Class:         t.Class,
+		Scale:         t.Scale,
+		Rounds:        t.Rounds,
+		Warmup:        t.Warmup,
+		ProfileRounds: t.ProfileRounds,
+		PayloadBytes:  t.PayloadBytes,
+		ReplyBytes:    t.ReplyBytes,
+		Ins:           Proc{Name: t.Ins.Name, Threads: t.Ins.Threads, Allocs: t.Ins.Allocs, Rounds: t.Ins.Rounds},
+		Sec:           Proc{Name: t.Sec.Name, Threads: t.Sec.Threads, Allocs: t.Sec.Allocs, Rounds: t.Sec.Rounds},
+	}
+}
+
+// NewApp builds a workload.App whose processes replay the trace through
+// the pre-lowered batch kernel. The app carries the recorded metadata
+// (name, class, round counts, payload sizes, thread preferences), so the
+// driver runs it exactly like the live application — through the same
+// pipelines, rings, and models — at a fraction of the cost. Each replay
+// app carries only a per-instance plan memo over the shared Trace, so any
+// number of replay apps may run concurrently.
 func (t *Trace) NewApp() *workload.App {
+	return t.newApp(false)
+}
+
+// NewReferenceApp builds a replay app that interprets the decoded stream
+// per op through Ctx dispatch — the original replayer, kept as the
+// reference implementation the batch kernel is gated byte-identical
+// against (the same pattern as the machine's materialized-routing
+// reference).
+func (t *Trace) NewReferenceApp() *workload.App {
+	return t.newApp(true)
+}
+
+func (t *Trace) newApp(perOp bool) *workload.App {
 	return &workload.App{
 		Name:          t.App,
 		Class:         t.Class,
-		Insecure:      &replayProc{proc: &t.Ins, domain: arch.Insecure},
-		Secure:        &replayProc{proc: &t.Sec, domain: arch.Secure},
+		Insecure:      &replayProc{proc: &t.Ins, domain: arch.Insecure, perOp: perOp},
+		Secure:        &replayProc{proc: &t.Sec, domain: arch.Secure, perOp: perOp},
 		Rounds:        t.Rounds,
 		Warmup:        t.Warmup,
 		ProfileRounds: t.ProfileRounds,
@@ -222,10 +299,16 @@ func (t *Trace) NewApp() *workload.App {
 	}
 }
 
-// replayProc replays one recorded process.
+// replayProc replays one recorded process. Aside from a memo of the last
+// gang's plan (one run uses one gang size throughout), it is a stateless
+// read of the shared Proc.
 type replayProc struct {
 	proc   *Proc
 	domain arch.Domain
+	perOp  bool // force the per-op reference replayer
+
+	lastT    int
+	lastPlan *gangPlan
 }
 
 func (p *replayProc) Name() string        { return p.proc.Name }
@@ -245,12 +328,35 @@ func (p *replayProc) Init(m *sim.Machine, space *sim.AddressSpace) {
 // the gang: chunk k of each ParFor runs on thread k%t of the *replay*
 // gang, Seq sections on thread 0, barriers and atomic contention at the
 // replay gang's cost — byte-identical to executing the payload live on
-// this gang.
+// this gang. The charge goes through the pre-lowered plan and the batch
+// kernel; the per-op reference path handles reference apps and re-capture
+// (where the marker stream itself must be reproduced).
 func (p *replayProc) Round(g *sim.Group, round int) {
 	if round >= len(p.proc.Rounds) {
 		panic(fmt.Sprintf("trace: %s replay requested round %d but only %d were captured",
 			p.proc.Name, round, len(p.proc.Rounds)))
 	}
+	if p.perOp || g.Capturing() {
+		p.roundPerOp(g, round)
+		return
+	}
+	t := g.Threads()
+	if p.lastPlan == nil || t != p.lastT {
+		p.lastPlan, p.lastT = p.proc.plan(t), t
+	}
+	lr := &p.proc.lowered[round]
+	for _, run := range p.lastPlan.rounds[round] {
+		if run.tid < 0 {
+			g.Barrier()
+			continue
+		}
+		g.ReplayRun(int(run.tid), lr.codes[run.start:run.end], lr.args[run.start:run.end])
+	}
+}
+
+// roundPerOp is the reference replayer: the decoded stream interpreted one
+// op at a time through Ctx dispatch, markers included.
+func (p *replayProc) roundPerOp(g *sim.Group, round int) {
 	d := p.proc.round(round)
 	cur := g.Ctx(0)
 	t := g.Threads()

@@ -222,3 +222,27 @@ func TestReplayBeyondCapturePanics(t *testing.T) {
 	}()
 	proc.Round(m.NewGroup(arch.Insecure, testCores(2), 0), 2)
 }
+
+// A warm replay round — decode, lowering, and gang plan already cached,
+// machine state populated — must be allocation-free: the batch kernel
+// charges pre-lowered runs straight through Machine.Access, and nothing
+// on that path may touch the heap. The synthetic stream covers every
+// construct (ParFor chunks, Seq sections, barriers, atomics, coalesced
+// computes), so the zero-alloc property holds for the whole IR, not just
+// straight-line loads.
+func TestReplayZeroAllocSteadyState(t *testing.T) {
+	tr := capture(t, 6, 4)
+	m, err := sim.NewMachine(arch.TileGx72())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := tr.NewApp().Insecure
+	proc.Init(m, m.NewSpace("replay", arch.Insecure))
+	g := m.NewGroup(arch.Insecure, testCores(6), 0)
+	proc.Round(g, 0) // warm: builds the decode, lowering, and plan caches
+	if n := testing.AllocsPerRun(10, func() {
+		proc.Round(g, 0)
+	}); n != 0 {
+		t.Fatalf("warm replay round allocates %.2f objects, want 0", n)
+	}
+}

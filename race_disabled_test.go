@@ -1,0 +1,5 @@
+//go:build !race
+
+package ironhide
+
+const raceEnabled = false

@@ -2,10 +2,12 @@ package ironhide
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"ironhide/internal/apps"
 	"ironhide/internal/arch"
+	"ironhide/internal/core"
 	"ironhide/internal/driver"
 )
 
@@ -54,6 +56,18 @@ func TestReplayEquivalenceCatalog(t *testing.T) {
 						t.Fatalf("%s at %d secure cores: replay diverged\nlive:   %+v\nreplay: %+v",
 							model.Name(), binding, live, replayed)
 					}
+					// The batch kernel (pre-lowered plans + ReplayRun) must
+					// also match the per-op reference interpreter exactly —
+					// the two replayers are independent implementations of
+					// the same IR.
+					reference, err := driver.RunTraceReference(cfg, model, tr, o)
+					if err != nil {
+						t.Fatalf("%s/%d reference replay: %v", model.Name(), binding, err)
+					}
+					if !reflect.DeepEqual(reference, replayed) {
+						t.Fatalf("%s at %d secure cores: batch kernel diverged from per-op reference\nreference: %+v\nbatch:     %+v",
+							model.Name(), binding, reference, replayed)
+					}
 					if live.RouteViolations != 0 {
 						t.Fatalf("%s/%d: %d route violations", model.Name(), binding, live.RouteViolations)
 					}
@@ -61,4 +75,39 @@ func TestReplayEquivalenceCatalog(t *testing.T) {
 			}
 		})
 	}
+}
+
+// The arena pool must drive replayed search strictly below live execution
+// in allocation volume, not just wall clock: an Optimal-oracle run whose
+// probes replay a shared capture has to allocate fewer total bytes than
+// the same oracle run with live payload probes. (Before the machine
+// arenas, replay allocated ~5% more than live — every probe built a fresh
+// ~10 MB machine and threw it away.)
+func TestOracleReplayAllocatesLessThanLive(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode randomly defeats sync.Pool recycling, so the arena's allocation savings don't hold")
+	}
+	cfg := arch.TileGx72()
+	entry, ok := apps.ByName("<AES, QUERY>")
+	if !ok {
+		t.Fatal("catalog missing app")
+	}
+	measure := func(noReplay bool) uint64 {
+		opts := driver.Options{Scale: 0.1, Optimal: true, OptimalStride: 4, NoReplay: noReplay, Seed: 5}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := driver.Run(cfg, core.New(32), entry.Factory, opts); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+	live := measure(true)
+	replay := measure(false)
+	if replay >= live {
+		t.Fatalf("oracle replay allocated %d bytes, live %d — replay must stay strictly below live", replay, live)
+	}
+	t.Logf("oracle total alloc: live %.1f MB, replay %.1f MB (%.2fx)",
+		float64(live)/1e6, float64(replay)/1e6, float64(live)/float64(replay))
 }
