@@ -7,17 +7,33 @@
 // Usage:
 //
 //	ironhide-serve [-addr :8372] [-dilation n] [-cache n]
-//	               [-grid-workers n] [-timeout d]
+//	               [-grid-workers n] [-timeout d] [-store dir]
+//	               [-admit n] [-admit-queue n] [-retry-after d]
+//	               [-capture-grace d]
 //	ironhide-serve -selftest [selftest flags]
+//	ironhide-serve -chaos-selftest [chaos flags]
 //
-// Serving mode listens on -addr until SIGINT/SIGTERM, then drains
-// in-flight requests and exits. -selftest starts the service in-process,
-// hammers it with cold (unique-query) and warm (repeated-query) load
-// streams plus a mixed search/run/grid stream, prints throughput and
-// latency percentiles, and exits nonzero unless the warm stream achieves
-// -min-speedup times the cold stream's throughput and the online answers
-// are byte-identical to the batch driver — the demonstration that the
-// trace cache makes an interactive service economical.
+// Serving mode listens on -addr until SIGINT/SIGTERM, then flips
+// /v1/readyz to 503, drains in-flight requests and exits. With -store,
+// captured traces persist in a crash-safe checksummed store and pre-warm
+// the cache on restart; with -admit, excess load is shed with 503 +
+// Retry-After instead of queueing without bound.
+//
+// -selftest starts the service in-process, hammers it with cold
+// (unique-query) and warm (repeated-query) load streams plus a mixed
+// search/run/grid stream and an overload stream against a gated twin,
+// prints throughput, latency percentiles and shed rates, and exits
+// nonzero unless the warm stream achieves -min-speedup times the cold
+// stream's throughput, the online answers are byte-identical to the
+// batch driver, and overload is shed cleanly (no 5xx other than 503, no
+// 503 without Retry-After, no goroutine leaks).
+//
+// -chaos-selftest builds the full crash story: it re-executes this
+// binary as a real daemon with a temp -store, loads it, SIGKILLs it
+// mid-capture, corrupts one committed entry on disk, restarts the
+// daemon, and verifies warm recovery — stored traces replay without
+// re-capture, the corrupted entry is quarantined and transparently
+// re-captured, and every response stays byte-identical across the crash.
 package main
 
 import (
@@ -34,6 +50,7 @@ import (
 
 	"ironhide/internal/arch"
 	"ironhide/internal/service"
+	"ironhide/internal/store"
 )
 
 func main() {
@@ -42,6 +59,11 @@ func main() {
 	cacheTraces := flag.Int("cache", 16, "trace-cache capacity (distinct app/scale/seed captures held)")
 	gridWorkers := flag.Int("grid-workers", runtime.NumCPU(), "worker pool bound for /v1/grid fan-outs")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline (requests may override via timeout_ms)")
+	storeDir := flag.String("store", "", "persistent trace-store directory (empty = memory only)")
+	admit := flag.Int("admit", 0, "max concurrently executing simulation requests (0 = no admission gate)")
+	admitQueue := flag.Int("admit-queue", 8, "requests that may wait for an execution slot before load-shedding (with -admit)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (503) responses")
+	captureGrace := flag.Duration("capture-grace", 0, "how long an abandoned capture may keep running (0 = run to completion and fill the cache)")
 
 	selftest := flag.Bool("selftest", false, "run the load-generator self-test against an in-process server and exit")
 	stApp := flag.String("selftest-app", "aes-query", "application the cold/warm streams query")
@@ -55,6 +77,9 @@ func main() {
 	// the warm stream got faster in absolute terms, the cold stream got
 	// faster still. 2x keeps noise margin on shared runners.
 	minSpeedup := flag.Float64("min-speedup", 2, "required warm/cold throughput ratio")
+
+	chaos := flag.Bool("chaos-selftest", false, "run the crash-recovery self-test (re-executes this binary as a daemon, SIGKILLs it, restarts it) and exit")
+	chaosKeys := flag.Int("chaos-keys", 3, "committed traces before the kill, and in-flight captures at the kill")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -62,6 +87,10 @@ func main() {
 		CacheTraces:    *cacheTraces,
 		GridWorkers:    *gridWorkers,
 		DefaultTimeout: *timeout,
+		AdmitCapacity:  *admit,
+		AdmitQueue:     *admitQueue,
+		RetryAfter:     *retryAfter,
+		CaptureGrace:   *captureGrace,
 	}
 	if *selftest {
 		os.Exit(runSelftest(cfg, selftestConfig{
@@ -73,9 +102,41 @@ func main() {
 			MinSpeedup: *minSpeedup,
 		}))
 	}
+	if *chaos {
+		os.Exit(runChaos(chaosConfig{
+			App:      *stApp,
+			Scale:    *stScale,
+			Keys:     *chaosKeys,
+			Dilation: *dilation,
+		}))
+	}
+
+	if *storeDir != "" {
+		st, rep, err := store.Open(*storeDir, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ironhide-serve: store:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ironhide-serve: store %s: %d recovered, %d quarantined (%d prior), %d temp swept\n",
+			*storeDir, rep.Recovered, rep.Quarantined, rep.PriorQuarantine, rep.TempRemoved)
+		cfg.Store = st
+	}
 
 	srv := service.New(cfg)
-	hs := &http.Server{Addr: *addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	// WriteTimeout must outlast the longest admissible request, or the
+	// server would cut off slow-but-legitimate responses; it exists so a
+	// stuck peer cannot hold a connection forever.
+	writeTimeout := time.Duration(0)
+	if *timeout > 0 {
+		writeTimeout = *timeout + 30*time.Second
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       120 * time.Second,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -83,6 +144,9 @@ func main() {
 	go func() {
 		defer close(done)
 		<-ctx.Done()
+		// Readiness goes first: load balancers stop routing to this
+		// instance while in-flight requests finish draining.
+		srv.SetReady(false)
 		fmt.Fprintln(os.Stderr, "ironhide-serve: draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()

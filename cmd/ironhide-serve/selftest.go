@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"time"
 
 	"ironhide/internal/driver"
 	"ironhide/internal/service"
@@ -33,6 +36,7 @@ const warmSeed = 42
 // search/run/grid stream for latency percentiles. Returns the process
 // exit code.
 func runSelftest(cfg service.Config, st selftestConfig) int {
+	baseGoroutines := runtime.NumGoroutine()
 	srv := service.New(cfg)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -145,6 +149,87 @@ func runSelftest(cfg service.Config, st selftestConfig) int {
 		}
 	}
 	fmt.Printf("  ✓ /v1/grid: %d cells on %d workers\n", len(gr.Cells), gr.Workers)
+
+	// 6. Overload: a gated twin of the server (1 execution slot, queue of
+	// 2) under a hammering herd must shed cleanly — prompt 503 with a
+	// Retry-After header — while admitted requests keep a bounded p99 on
+	// warm replays. Hammer counts any other 5xx, or a 503 without
+	// Retry-After, as an error, and a single error fails the selftest. A
+	// retrying service.Client runs against the same storm and must ride
+	// through the shedding without surfacing a failure.
+	ovCfg := cfg
+	ovCfg.AdmitCapacity = 1
+	ovCfg.AdmitQueue = 2
+	ovSrv := service.New(ovCfg)
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("overload listener: %v", err)
+	}
+	hs2 := &http.Server{Handler: ovSrv}
+	go func() { _ = hs2.Serve(l2) }()
+	defer hs2.Close()
+	ovBase := "http://" + l2.Addr().String()
+	if _, err := postJSON(client, ovBase+"/v1/run", runQ); err != nil {
+		return fail("overload warm-up: %v", err)
+	}
+	ovQs := make([]service.Query, st.Warm*2)
+	for i := range ovQs {
+		ovQs[i] = runQ
+	}
+	ovTargets, err := service.QueryTargets(ovBase+"/v1/run", ovQs)
+	if err != nil {
+		return fail("%v", err)
+	}
+	rcDone := make(chan error, 1)
+	go func() {
+		rc := &service.Client{BaseURL: ovBase, HTTP: client, MaxRetries: 8, Backoff: 20 * time.Millisecond}
+		for i := 0; i < 4; i++ {
+			if _, err := rc.PostJSON(context.Background(), "/v1/run", runQ, nil); err != nil {
+				rcDone <- err
+				return
+			}
+		}
+		rcDone <- nil
+	}()
+	over := service.Hammer("overload", client, ovTargets, st.Conc*4)
+	fmt.Println(" ", over)
+	if over.Errors > 0 {
+		return fail("overload stream: %d errors (first: %s) — overload must shed with 503+Retry-After, never fail", over.Errors, over.FirstError)
+	}
+	if over.Shed == 0 {
+		return fail("overload stream shed nothing at %dx slot concurrency — the admission gate is not engaging", st.Conc*4)
+	}
+	if over.Shed == over.Requests {
+		return fail("overload stream admitted nothing")
+	}
+	if over.P99 > 10*time.Second {
+		return fail("admitted p99 %s under overload — latency must stay bounded", over.P99)
+	}
+	if err := <-rcDone; err != nil {
+		return fail("retrying client under overload: %v", err)
+	}
+	var ovStatus service.StatusResponse
+	if _, err := (&service.Client{BaseURL: ovBase, HTTP: client}).GetJSON(context.Background(), "/v1/status", &ovStatus); err != nil {
+		return fail("overload status: %v", err)
+	}
+	if ovStatus.Admission.Shed < int64(over.Shed) {
+		return fail("status reports %d shed, hammer saw %d", ovStatus.Admission.Shed, over.Shed)
+	}
+	fmt.Printf("  ✓ overload: %.0f%% shed cleanly, retrying client rode through (%d shed on the server's own count)\n",
+		100*over.ShedRate(), ovStatus.Admission.Shed)
+
+	// 7. Leak gate: hundreds of requests later — shed, coalesced and
+	// replayed alike — the goroutine count must settle back near the
+	// baseline once idle connections close.
+	client.CloseIdleConnections()
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseGoroutines+16 {
+		if time.Now().After(leakDeadline) {
+			return fail("goroutine leak: %d at exit vs %d at start", runtime.NumGoroutine(), baseGoroutines)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Println("  ✓ no goroutine leak")
 
 	stats := srv.Cache().Stats()
 	fmt.Printf("  cache: %d captures, %d hits, %d coalesced, %d evictions (size %d/%d)\n",

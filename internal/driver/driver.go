@@ -71,6 +71,22 @@ type Options struct {
 	// evaluates candidate bindings on (<= 1 sequential). Probes run on
 	// fresh machines and results are deterministic at any worker count.
 	SearchWorkers int
+	// Interrupt, when non-nil, is polled at capture/replay round
+	// boundaries and before every search probe; a non-nil return aborts
+	// the run with that error. The serving layer points it at the
+	// request context so a client deadline actually stops the simulation
+	// instead of letting abandoned work burn cores. Determinism is
+	// unaffected: a run either completes (identical to an uninterrupted
+	// one) or returns the interrupt error.
+	Interrupt func() error
+}
+
+// interrupt polls the Interrupt hook (nil = never interrupt).
+func (o Options) interrupt() error {
+	if o.Interrupt == nil {
+		return nil
+	}
+	return o.Interrupt()
 }
 
 func (o Options) scale() float64 {
@@ -240,7 +256,10 @@ func CaptureTrace(cfg arch.Config, factory AppFactory, opts Options) (*trace.Tra
 	// stream is timing-independent, so run the payload in lite-exec mode
 	// (flat L1-hit charges, no machine walk).
 	m.SetLiteExec(true)
-	spatialCompletion(m, ring, recApp, sec, ins, 0, rounds)
+	if _, _, err := spatialCompletion(m, ring, recApp, sec, ins, 0, rounds, opts.Interrupt); err != nil {
+		releaseMachine(m)
+		return nil, err
+	}
 	releaseMachine(m)
 	return rec.Trace(), nil
 }
@@ -458,12 +477,20 @@ func runTemporal(cfg arch.Config, model enclave.Model, src appSource, opts Optio
 	}
 
 	for r := 0; r < app.Warmup; r++ {
+		if err := opts.interrupt(); err != nil {
+			releaseMachine(m)
+			return nil, err
+		}
 		runRound(r, false)
 	}
 	resetStats(m)
 	measureStart = t
 	entryExit, purge = 0, 0
 	for r := 0; r < app.Rounds; r++ {
+		if err := opts.interrupt(); err != nil {
+			releaseMachine(m)
+			return nil, err
+		}
 		runRound(app.Warmup+r, true)
 	}
 	res.CompletionCycles = t - measureStart
@@ -478,7 +505,9 @@ func runTemporal(cfg arch.Config, model enclave.Model, src appSource, opts Optio
 
 // spatialCompletion runs the two-stage pipeline on a configured machine
 // and returns (completion cycles, interactions) for the measured rounds.
-func spatialCompletion(m *sim.Machine, ring *ipc.Ring, app *workload.App, secCores, insCores []arch.CoreID, warmup, rounds int) (int64, int64) {
+// interrupt (nil = never) is polled at every round boundary; a non-nil
+// return aborts the pipeline mid-run.
+func spatialCompletion(m *sim.Machine, ring *ipc.Ring, app *workload.App, secCores, insCores []arch.CoreID, warmup, rounds int, interrupt func() error) (int64, int64, error) {
 	var pEnd, cEnd int64
 	var interactions int64
 	var measureStart int64
@@ -507,6 +536,11 @@ func spatialCompletion(m *sim.Machine, ring *ipc.Ring, app *workload.App, secCor
 		}
 	}
 	for r := 0; r < warmup; r++ {
+		if interrupt != nil {
+			if err := interrupt(); err != nil {
+				return 0, 0, err
+			}
+		}
 		runRound(r, false)
 	}
 	resetStats(m)
@@ -515,13 +549,18 @@ func spatialCompletion(m *sim.Machine, ring *ipc.Ring, app *workload.App, secCor
 		measureStart = cEnd
 	}
 	for r := 0; r < rounds; r++ {
+		if interrupt != nil {
+			if err := interrupt(); err != nil {
+				return 0, 0, err
+			}
+		}
 		runRound(warmup+r, true)
 	}
 	end := pEnd
 	if cEnd > end {
 		end = cEnd
 	}
-	return end - measureStart, interactions
+	return end - measureStart, interactions, nil
 }
 
 // clusterCores splits the cores between the domains for a spatial run.
@@ -536,7 +575,7 @@ func clusterCores(m *sim.Machine, app *workload.App, secureCores int) (sec, ins 
 // experiment harness reuses it to share one exhaustive search across
 // Figure 8's fixed-variation runs.
 func Profile(cfg arch.Config, model enclave.Model, factory AppFactory, opts Options, secureCores int) (float64, error) {
-	return profile(cfg, model, liveSource{factory: factory, scale: opts.scale()}, secureCores)
+	return profile(cfg, model, liveSource{factory: factory, scale: opts.scale()}, secureCores, opts.Interrupt)
 }
 
 // ProfileTrace measures a candidate binding by replaying a captured trace
@@ -545,11 +584,11 @@ func ProfileTrace(cfg arch.Config, model enclave.Model, tr *trace.Trace, opts Op
 	if tr.Scale != opts.scale() {
 		return 0, fmt.Errorf("driver: trace captured at scale %g cannot profile at scale %g", tr.Scale, opts.scale())
 	}
-	return profile(cfg, model, traceSource{tr: tr}, secureCores)
+	return profile(cfg, model, traceSource{tr: tr}, secureCores, opts.Interrupt)
 }
 
 // profile measures a candidate binding with a short fresh run.
-func profile(cfg arch.Config, model enclave.Model, src appSource, secureCores int) (float64, error) {
+func profile(cfg arch.Config, model enclave.Model, src appSource, secureCores int, interrupt func() error) (float64, error) {
 	app := src.fresh()
 	warm, rounds := profileLen(app)
 	mdl := model
@@ -569,8 +608,11 @@ func profile(cfg arch.Config, model enclave.Model, src appSource, secureCores in
 		m.SetSplit(split, false)
 	}
 	sec, ins := clusterCores(m, app, secureCores)
-	completion, _ := spatialCompletion(m, ring, app, sec, ins, warm, rounds)
+	completion, _, err := spatialCompletion(m, ring, app, sec, ins, warm, rounds, interrupt)
 	releaseMachine(m)
+	if err != nil {
+		return 0, err
+	}
 	return float64(completion), nil
 }
 
@@ -609,7 +651,14 @@ func chooseBinding(cfg arch.Config, model enclave.Model, src appSource, opts Opt
 	if sr.SecureCores > 0 {
 		return sr, nil
 	}
-	eval := func(k int) (float64, error) { return profile(cfg, model, src, k) }
+	eval := func(k int) (float64, error) {
+		// Checkpoint before every probe: an abandoned search stops instead
+		// of walking the rest of the candidate ladder.
+		if err := opts.interrupt(); err != nil {
+			return 0, err
+		}
+		return profile(cfg, model, src, k, opts.Interrupt)
+	}
 	var hres heuristic.Result
 	var err error
 	if opts.Optimal || opts.Variation != 0 {
@@ -690,7 +739,11 @@ func runSpatial(cfg arch.Config, model enclave.Model, src appSource, opts Option
 	}
 
 	sec, ins := clusterCores(m, app, binding)
-	completion, interactions := spatialCompletion(m, ring, app, sec, ins, app.Warmup, app.Rounds)
+	completion, interactions, err := spatialCompletion(m, ring, app, sec, ins, app.Warmup, app.Rounds, opts.Interrupt)
+	if err != nil {
+		releaseMachine(m)
+		return nil, err
+	}
 
 	// One-time overheads amortize over the application's real input count;
 	// the simulated run covers app.Rounds of RealRounds inputs.

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned when the admission gate sheds a request: every
+// execution slot is busy and the wait queue is full (or the caller's
+// deadline expired while queued). The HTTP layer maps it to 503 with a
+// Retry-After header.
+var ErrOverloaded = errors.New("server overloaded")
+
+// AdmissionStats snapshots the gate.
+type AdmissionStats struct {
+	// Capacity is the number of concurrent execution slots (0 = ungated).
+	Capacity int `json:"capacity"`
+	// Queue is the bounded wait-queue length.
+	Queue int `json:"queue"`
+	// InUse counts currently held slots.
+	InUse int `json:"in_use"`
+	// Waiting counts requests queued for a slot right now.
+	Waiting int `json:"waiting"`
+	// Admitted counts requests that got a slot.
+	Admitted int64 `json:"admitted"`
+	// Shed counts requests rejected with ErrOverloaded.
+	Shed int64 `json:"shed"`
+}
+
+// gate is a semaphore with a bounded wait queue. A nil *gate admits
+// everything, so an unconfigured server behaves exactly as before.
+type gate struct {
+	slots    chan struct{}
+	queueCap int64
+
+	waiting  atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+// newGate builds a gate with capacity concurrent slots and a wait queue of
+// queue requests. capacity <= 0 disables admission control (returns nil).
+func newGate(capacity, queue int) *gate {
+	if capacity <= 0 {
+		return nil
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &gate{slots: make(chan struct{}, capacity), queueCap: int64(queue)}
+}
+
+// acquire takes a slot, waiting in the bounded queue if none is free. It
+// returns ErrOverloaded (possibly wrapped) when the queue is full or the
+// ctx expires while queued — in both cases the request never started, so
+// a later retry is the right client move.
+func (g *gate) acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return nil
+	default:
+	}
+	if g.waiting.Add(1) > g.queueCap {
+		g.waiting.Add(-1)
+		g.shed.Add(1)
+		return ErrOverloaded
+	}
+	defer g.waiting.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		g.shed.Add(1)
+		return errors.Join(ErrOverloaded, ctx.Err())
+	}
+}
+
+// release returns a slot. Must be called exactly once per successful
+// acquire, after the admitted work has finished.
+func (g *gate) release() {
+	if g == nil {
+		return
+	}
+	<-g.slots
+}
+
+// stats snapshots the gate. Safe on a nil gate.
+func (g *gate) stats() AdmissionStats {
+	if g == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		Capacity: cap(g.slots),
+		Queue:    int(g.queueCap),
+		InUse:    len(g.slots),
+		Waiting:  int(g.waiting.Load()),
+		Admitted: g.admitted.Load(),
+		Shed:     g.shed.Load(),
+	}
+}

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// A nil gate (admission control off) admits everything.
+func TestNilGateAdmitsEverything(t *testing.T) {
+	var g *gate
+	for i := 0; i < 100; i++ {
+		if err := g.acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.release()
+	if st := g.stats(); st != (AdmissionStats{}) {
+		t.Fatalf("nil gate stats %+v", st)
+	}
+}
+
+// Slots fill, the queue holds the overflow, and everything beyond is shed
+// immediately; a release hands the slot to a queued waiter.
+func TestGateQueueAndShed(t *testing.T) {
+	g := newGate(1, 1)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	queued := make(chan error, 1)
+	go func() { queued <- g.acquire(context.Background()) }()
+	for g.stats().Waiting < 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue is full: the next caller is shed without blocking.
+	start := time.Now()
+	if err := g.acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("acquire over full queue: %v, want ErrOverloaded", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("shed took %v, want immediate", waited)
+	}
+
+	g.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+	st := g.stats()
+	if st.Admitted != 2 || st.Shed != 1 || st.InUse != 1 || st.Waiting != 0 {
+		t.Fatalf("stats %+v: want 2 admitted, 1 shed, 1 in use", st)
+	}
+	g.release()
+	if st := g.stats(); st.InUse != 0 {
+		t.Fatalf("stats %+v after final release", st)
+	}
+}
+
+// A deadline that expires while queued is reported as overload (the
+// request never started; a retry later is the right move) and still
+// carries the ctx error for diagnostics.
+func TestGateDeadlineWhileQueued(t *testing.T) {
+	g := newGate(1, 4)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := g.acquire(ctx)
+	if !errors.Is(err, ErrOverloaded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued deadline: %v, want ErrOverloaded joined with DeadlineExceeded", err)
+	}
+	st := g.stats()
+	if st.Shed != 1 || st.Waiting != 0 {
+		t.Fatalf("stats %+v: want the expired waiter counted as shed and off the queue", st)
+	}
+	if errorStatus(err) != 503 {
+		t.Fatalf("errorStatus(%v) = %d, want 503", err, errorStatus(err))
+	}
+}

@@ -3,8 +3,10 @@ package service
 import (
 	"container/list"
 	"context"
-
+	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ironhide/internal/trace"
 )
@@ -29,6 +31,12 @@ type CacheStats struct {
 	Captures  int64 `json:"captures"`
 	Coalesced int64 `json:"coalesced"`
 	Evictions int64 `json:"evictions"`
+	// Abandoned counts captures aborted at a checkpoint because every
+	// interested caller had gone away for longer than the capture grace.
+	Abandoned int64 `json:"abandoned"`
+	// Panics counts captures that panicked; each is converted to an error
+	// delivered to the waiters, never a poisoned cache slot.
+	Panics int64 `json:"panics"`
 }
 
 // entry is one cache slot. done is closed once the capture settles; until
@@ -39,6 +47,11 @@ type entry struct {
 	done chan struct{}
 	tr   *trace.Trace
 	err  error
+
+	// waiters counts coalesced callers currently blocked on done. The
+	// starter is tracked through its ctx instead; together they decide
+	// whether an in-flight capture still has an audience.
+	waiters atomic.Int64
 }
 
 // TraceCache is a bounded LRU of captured workload traces with
@@ -51,10 +64,12 @@ type entry struct {
 type TraceCache struct {
 	mu      sync.Mutex
 	cap     int
+	grace   time.Duration              // see SetCaptureGrace
 	entries map[TraceKey]*list.Element // values are *entry
 	lru     *list.List                 // front = most recently used
 
 	hits, misses, captures, coalesced, evictions int64
+	abandoned, panics                            int64
 }
 
 // NewTraceCache builds a cache holding up to capacity traces (minimum 1).
@@ -64,19 +79,36 @@ func NewTraceCache(capacity int) *TraceCache {
 	}
 	return &TraceCache{
 		cap:     capacity,
+		grace:   -1,
 		entries: make(map[TraceKey]*list.Element),
 		lru:     list.New(),
 	}
 }
 
+// SetCaptureGrace bounds how long an orphaned capture — one whose starter
+// ctx has expired and which has no coalesced waiters left — may keep
+// running before the interrupt handed to the capture aborts it at the
+// next checkpoint. Negative (the default) lets orphaned captures run to
+// completion and land in the cache, which makes a retry after a timeout a
+// cheap replay; zero aborts at the first orphaned checkpoint. Call before
+// serving traffic.
+func (c *TraceCache) SetCaptureGrace(d time.Duration) { c.grace = d }
+
 // GetOrCapture returns the trace for key, running capture at most once per
 // key no matter how many callers arrive concurrently. The boolean reports
 // whether the caller was served from the cache (a coalesced waiter counts
 // as a hit: it paid no capture). A caller whose ctx expires while the
-// capture is still running gets ctx's error; the capture itself is never
-// cancelled — it completes on the goroutine that started it and fills the
-// cache for subsequent queries.
-func (c *TraceCache) GetOrCapture(ctx context.Context, key TraceKey, capture func() (*trace.Trace, error)) (*trace.Trace, bool, error) {
+// capture is still running gets ctx's error.
+//
+// The capture receives an interrupt hook to poll at its checkpoints
+// (driver.Options.Interrupt). While any caller is still interested the
+// hook returns nil; once the starter's ctx has expired and every
+// coalesced waiter has gone, the hook starts the capture-grace clock and
+// fires after it runs out (see SetCaptureGrace). A capture that returns
+// an error — or panics; the panic is recovered and converted — is
+// dropped before its waiters are released, so the error reaches every
+// in-flight waiter but is never cached: the next query re-captures.
+func (c *TraceCache) GetOrCapture(ctx context.Context, key TraceKey, capture func(interrupt func() error) (*trace.Trace, error)) (*trace.Trace, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*entry)
@@ -84,10 +116,14 @@ func (c *TraceCache) GetOrCapture(ctx context.Context, key TraceKey, capture fun
 		select {
 		case <-e.done:
 			c.hits++
+			c.mu.Unlock()
+			return e.tr, true, e.err
 		default:
-			c.coalesced++
 		}
+		c.coalesced++
+		e.waiters.Add(1)
 		c.mu.Unlock()
+		defer e.waiters.Add(-1)
 		select {
 		case <-e.done:
 			return e.tr, true, e.err
@@ -102,7 +138,7 @@ func (c *TraceCache) GetOrCapture(ctx context.Context, key TraceKey, capture fun
 	c.evictLocked()
 	c.mu.Unlock()
 
-	e.tr, e.err = capture()
+	e.tr, e.err = c.runCapture(ctx, e, capture)
 	c.mu.Lock()
 	if e.err != nil {
 		// Drop the failed entry (it may already be gone if evicted).
@@ -121,6 +157,68 @@ func (c *TraceCache) GetOrCapture(ctx context.Context, key TraceKey, capture fun
 		return nil, false, e.err
 	}
 	return e.tr, false, nil
+}
+
+// runCapture invokes capture with the audience-aware interrupt hook and a
+// panic guard: a panicking capture must still settle its entry, or every
+// coalesced waiter would block forever.
+func (c *TraceCache) runCapture(ctx context.Context, e *entry, capture func(func() error) (*trace.Trace, error)) (tr *trace.Trace, err error) {
+	var (
+		orphanMu    sync.Mutex
+		orphanSince time.Time
+	)
+	interrupt := func() error {
+		if ctx.Err() == nil || e.waiters.Load() > 0 {
+			orphanMu.Lock()
+			orphanSince = time.Time{}
+			orphanMu.Unlock()
+			return nil
+		}
+		if c.grace < 0 {
+			return nil
+		}
+		orphanMu.Lock()
+		defer orphanMu.Unlock()
+		if orphanSince.IsZero() {
+			orphanSince = time.Now()
+		}
+		if time.Since(orphanSince) >= c.grace {
+			c.mu.Lock()
+			c.abandoned++
+			c.mu.Unlock()
+			return fmt.Errorf("capture abandoned (no caller left after %v grace): %w", c.grace, context.Canceled)
+		}
+		return nil
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			c.mu.Lock()
+			c.panics++
+			c.mu.Unlock()
+			tr, err = nil, fmt.Errorf("capture panicked: %v", p)
+		}
+	}()
+	return capture(interrupt)
+}
+
+// Seed inserts an already-settled trace, used to pre-warm the cache from
+// the persistent store at startup. It never displaces anything: a present
+// key (settled or in flight) and a full cache both leave the cache
+// untouched and return false. Seeded entries join the cold end of the LRU
+// so live traffic outranks them.
+func (c *TraceCache) Seed(key TraceKey, tr *trace.Trace) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	if c.lru.Len() >= c.cap {
+		return false
+	}
+	e := &entry{key: key, done: make(chan struct{}), tr: tr}
+	close(e.done)
+	c.entries[key] = c.lru.PushBack(e)
+	return true
 }
 
 // evictLocked removes settled least-recently-used entries until the cache
@@ -156,5 +254,7 @@ func (c *TraceCache) Stats() CacheStats {
 		Captures:  c.captures,
 		Coalesced: c.coalesced,
 		Evictions: c.evictions,
+		Abandoned: c.abandoned,
+		Panics:    c.panics,
 	}
 }

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ironhide/internal/trace"
+)
+
+// neverCapture marks call sites where the capture must not run (the entry
+// is expected to be pending or settled already).
+func neverCapture(t *testing.T) func(func() error) (*trace.Trace, error) {
+	return func(func() error) (*trace.Trace, error) {
+		t.Error("capture ran where a coalesced wait was expected")
+		return nil, errors.New("unexpected capture")
+	}
+}
+
+// A capture error must reach every coalesced waiter, not only the
+// starter, and must not be cached: the next query re-captures.
+func TestCacheWaitersSeeCaptureError(t *testing.T) {
+	c := NewTraceCache(4)
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	starterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCapture(context.Background(), key("a", 1), func(func() error) (*trace.Trace, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+		starterErr <- err
+	}()
+	<-started
+
+	const waiters = 3
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.GetOrCapture(context.Background(), key("a", 1), neverCapture(t))
+		}(i)
+	}
+	for c.Stats().Coalesced < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if err := <-starterErr; !errors.Is(err, boom) {
+		t.Fatalf("starter got %v, want boom", err)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter %d got %v, want boom", i, err)
+		}
+	}
+
+	// No negative caching: the next query runs a fresh capture and wins.
+	tr, hit, err := c.GetOrCapture(context.Background(), key("a", 1), func(func() error) (*trace.Trace, error) {
+		return &trace.Trace{App: "a"}, nil
+	})
+	if err != nil || hit || tr == nil {
+		t.Fatalf("re-capture after error: tr=%v hit=%v err=%v", tr, hit, err)
+	}
+}
+
+// A panicking capture must not poison the cache: the panic is converted
+// to an error, every waiter is released with it, and the next query
+// re-captures. (Without the recover in runCapture, e.done would never
+// close and every waiter would hang forever.)
+func TestCacheCapturePanicDoesNotPoison(t *testing.T) {
+	c := NewTraceCache(4)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	starterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCapture(context.Background(), key("a", 1), func(func() error) (*trace.Trace, error) {
+			close(started)
+			<-release
+			panic("kaboom")
+		})
+		starterErr <- err
+	}()
+	<-started
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCapture(context.Background(), key("a", 1), neverCapture(t))
+		waiterErr <- err
+	}()
+	for c.Stats().Coalesced < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	for who, ch := range map[string]chan error{"starter": starterErr, "waiter": waiterErr} {
+		select {
+		case err := <-ch:
+			if err == nil || !strings.Contains(err.Error(), "kaboom") {
+				t.Fatalf("%s got %v, want the converted panic", who, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s deadlocked on the panicked capture", who)
+		}
+	}
+	if st := c.Stats(); st.Panics != 1 {
+		t.Fatalf("stats %+v: want 1 recorded panic", st)
+	}
+
+	// The slot is clean: a fresh capture succeeds and is cached.
+	tr, _, err := c.GetOrCapture(context.Background(), key("a", 1), func(func() error) (*trace.Trace, error) {
+		return &trace.Trace{App: "a"}, nil
+	})
+	if err != nil || tr == nil {
+		t.Fatalf("re-capture after panic: tr=%v err=%v", tr, err)
+	}
+	if _, hit, err := c.GetOrCapture(context.Background(), key("a", 1), neverCapture(t)); !hit || err != nil {
+		t.Fatalf("read after re-capture: hit=%v err=%v", hit, err)
+	}
+}
+
+// With a zero capture grace, a capture whose starter has gone and which
+// has no waiters is aborted at its next interrupt checkpoint instead of
+// running to completion.
+func TestCaptureAbandonmentStopsOrphanedWork(t *testing.T) {
+	c := NewTraceCache(2)
+	c.SetCaptureGrace(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, _, err := c.GetOrCapture(ctx, key("a", 1), func(interrupt func() error) (*trace.Trace, error) {
+		close(started)
+		for {
+			if err := interrupt(); err != nil {
+				return nil, err
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned capture returned %v, want a context.Canceled-wrapped abort", err)
+	}
+	if st := c.Stats(); st.Abandoned != 1 {
+		t.Fatalf("stats %+v: want 1 abandoned capture", st)
+	}
+	// The aborted entry was dropped: the key re-captures cleanly.
+	tr, hit, err := c.GetOrCapture(context.Background(), key("a", 1), func(func() error) (*trace.Trace, error) {
+		return &trace.Trace{App: "a"}, nil
+	})
+	if err != nil || hit || tr == nil {
+		t.Fatalf("re-capture after abandonment: tr=%v hit=%v err=%v", tr, hit, err)
+	}
+}
+
+// A coalesced waiter keeps an otherwise-orphaned capture alive: audience
+// is starter ctx OR waiters, so work with a surviving consumer completes
+// even under a zero grace.
+func TestWaiterKeepsOrphanedCaptureAlive(t *testing.T) {
+	c := NewTraceCache(2)
+	c.SetCaptureGrace(0)
+	starterCtx, cancelStarter := context.WithCancel(context.Background())
+	defer cancelStarter()
+	started := make(chan struct{})
+	waiterIn := make(chan struct{})
+	go func() {
+		_, _, _ = c.GetOrCapture(starterCtx, key("a", 1), func(interrupt func() error) (*trace.Trace, error) {
+			close(started)
+			<-waiterIn
+			cancelStarter() // the starter is now gone; only the waiter remains
+			for i := 0; i < 20; i++ {
+				if err := interrupt(); err != nil {
+					return nil, err
+				}
+				time.Sleep(time.Millisecond)
+			}
+			return &trace.Trace{App: "a"}, nil
+		})
+	}()
+	<-started
+
+	waiterRes := make(chan error, 1)
+	var waiterHit bool
+	go func() {
+		_, hit, err := c.GetOrCapture(context.Background(), key("a", 1), neverCapture(t))
+		waiterHit = hit
+		waiterRes <- err
+	}()
+	for c.Stats().Coalesced < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(waiterIn)
+	if err := <-waiterRes; err != nil || !waiterHit {
+		t.Fatalf("waiter: hit=%v err=%v, want the completed capture", waiterHit, err)
+	}
+	if st := c.Stats(); st.Abandoned != 0 {
+		t.Fatalf("stats %+v: capture with a live waiter must not be abandoned", st)
+	}
+}

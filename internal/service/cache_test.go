@@ -22,7 +22,7 @@ func TestCacheCoalescesConcurrentCaptures(t *testing.T) {
 	c := NewTraceCache(4)
 	var captures atomic.Int64
 	release := make(chan struct{})
-	capture := func() (*trace.Trace, error) {
+	capture := func(func() error) (*trace.Trace, error) {
 		captures.Add(1)
 		<-release // hold every concurrent caller in the pending state
 		return &trace.Trace{App: "a"}, nil
@@ -68,7 +68,7 @@ func TestCacheEvictsLRU(t *testing.T) {
 	c := NewTraceCache(2)
 	get := func(seed int64) {
 		t.Helper()
-		if _, _, err := c.GetOrCapture(context.Background(), key("a", seed), func() (*trace.Trace, error) {
+		if _, _, err := c.GetOrCapture(context.Background(), key("a", seed), func(func() error) (*trace.Trace, error) {
 			return &trace.Trace{App: "a"}, nil
 		}); err != nil {
 			t.Fatal(err)
@@ -97,7 +97,7 @@ func TestCacheRetriesFailedCapture(t *testing.T) {
 	c := NewTraceCache(2)
 	boom := errors.New("boom")
 	calls := 0
-	capture := func() (*trace.Trace, error) {
+	capture := func(func() error) (*trace.Trace, error) {
 		calls++
 		if calls == 1 {
 			return nil, boom
@@ -123,7 +123,7 @@ func TestCacheWaiterDeadline(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
 	go func() {
-		_, _, _ = c.GetOrCapture(context.Background(), key("a", 1), func() (*trace.Trace, error) {
+		_, _, _ = c.GetOrCapture(context.Background(), key("a", 1), func(func() error) (*trace.Trace, error) {
 			close(started)
 			<-release
 			return &trace.Trace{App: "a"}, nil
@@ -154,7 +154,7 @@ func TestCacheKeepsPendingEntries(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
 	go func() {
-		_, _, _ = c.GetOrCapture(context.Background(), key("a", 1), func() (*trace.Trace, error) {
+		_, _, _ = c.GetOrCapture(context.Background(), key("a", 1), func(func() error) (*trace.Trace, error) {
 			close(started)
 			<-release
 			return &trace.Trace{App: "a"}, nil
@@ -163,7 +163,7 @@ func TestCacheKeepsPendingEntries(t *testing.T) {
 	<-started
 	// A second key pushes the cache over capacity while the first capture
 	// is still in flight; the pending entry must not be the one to go.
-	if _, _, err := c.GetOrCapture(context.Background(), key("a", 2), func() (*trace.Trace, error) {
+	if _, _, err := c.GetOrCapture(context.Background(), key("a", 2), func(func() error) (*trace.Trace, error) {
 		return &trace.Trace{App: "a"}, nil
 	}); err != nil {
 		t.Fatal(err)
@@ -193,9 +193,9 @@ func TestCacheRaceColdKeysVsEviction(t *testing.T) {
 	var started sync.WaitGroup
 	started.Add(keys)
 	var captures [keys]atomic.Int64
-	captureFor := func(k int64) func() (*trace.Trace, error) {
+	captureFor := func(k int64) func(func() error) (*trace.Trace, error) {
 		first := true
-		return func() (*trace.Trace, error) {
+		return func(func() error) (*trace.Trace, error) {
 			if first {
 				// Only the cold wave's captures hold the gate; a re-capture
 				// after a (legal) post-settle eviction returns immediately.
@@ -259,7 +259,7 @@ func TestCacheRaceColdKeysVsEviction(t *testing.T) {
 			wg.Add(1)
 			go func(k int64) {
 				defer wg.Done()
-				tr, _, err := c.GetOrCapture(context.Background(), key("a", k), func() (*trace.Trace, error) {
+				tr, _, err := c.GetOrCapture(context.Background(), key("a", k), func(func() error) (*trace.Trace, error) {
 					return &trace.Trace{App: fmt.Sprintf("app-%d", k), Scale: 1}, nil
 				})
 				if err != nil {

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is a retrying HTTP client for an ironhide-serve instance. Shed
+// responses (503) are retried after the server's Retry-After hint, and
+// transport-level errors (connection refused during a restart, reset
+// connections) are retried with exponential backoff — so a caller rides
+// through both overload and a daemon restart without hand-rolled loops.
+// Non-retryable statuses (4xx, 500, 504) surface immediately.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxRetries bounds retry attempts after the first try (default 3).
+	MaxRetries int
+	// Backoff is the initial transport-error backoff, doubled per attempt
+	// (default 50ms). Retry-After overrides it for shed responses.
+	Backoff time.Duration
+}
+
+// StatusError is a non-2xx response that was not retried away.
+type StatusError struct {
+	Status int
+	Body   string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.Status, e.Body)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 3
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return 50 * time.Millisecond
+}
+
+// retryDelay picks the wait before attempt n (0-based) given the last
+// response, honoring Retry-After on shed responses.
+func (c *Client) retryDelay(n int, resp *http.Response) time.Duration {
+	if resp != nil {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return c.backoff() << n
+}
+
+// PostJSON posts req as JSON to path and decodes the 2xx body into resp
+// (which may be nil to discard it). The returned header is the final
+// response's.
+func (c *Client) PostJSON(ctx context.Context, path string, req, resp any) (http.Header, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("marshal request: %w", err)
+	}
+	do := func() (*http.Response, error) {
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		return c.httpClient().Do(hr)
+	}
+	return c.roundTrip(ctx, do, resp)
+}
+
+// GetJSON fetches path and decodes the 2xx body into resp.
+func (c *Client) GetJSON(ctx context.Context, path string, resp any) (http.Header, error) {
+	do := func() (*http.Response, error) {
+		hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return c.httpClient().Do(hr)
+	}
+	return c.roundTrip(ctx, do, resp)
+}
+
+func (c *Client) roundTrip(ctx context.Context, do func() (*http.Response, error), out any) (http.Header, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		hres, err := do()
+		if err == nil {
+			if hres.StatusCode/100 == 2 {
+				defer hres.Body.Close()
+				if out == nil {
+					_, _ = io.Copy(io.Discard, hres.Body)
+					return hres.Header, nil
+				}
+				if err := json.NewDecoder(hres.Body).Decode(out); err != nil {
+					return hres.Header, fmt.Errorf("decode response: %w", err)
+				}
+				return hres.Header, nil
+			}
+			b, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
+			hres.Body.Close()
+			lastErr = &StatusError{Status: hres.StatusCode, Body: string(bytes.TrimSpace(b))}
+			if hres.StatusCode != http.StatusServiceUnavailable {
+				return hres.Header, lastErr
+			}
+			if attempt >= c.maxRetries() {
+				return hres.Header, lastErr
+			}
+			if err := sleep(ctx, c.retryDelay(attempt, hres)); err != nil {
+				return hres.Header, err
+			}
+			continue
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if attempt >= c.maxRetries() {
+			return nil, lastErr
+		}
+		if err := sleep(ctx, c.retryDelay(attempt, nil)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WaitReady polls /v1/readyz until the server answers 200, the timeout
+// lapses, or ctx expires. It is how the chaos harness knows a restarted
+// daemon is back.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		one := &Client{BaseURL: c.BaseURL, HTTP: c.httpClient(), MaxRetries: 1, Backoff: c.backoff()}
+		if _, err := one.GetJSON(ctx, "/v1/readyz", nil); err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v", c.BaseURL, timeout)
+		}
+		if err := sleep(ctx, 25*time.Millisecond); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Shed responses are retried (honoring Retry-After) until the server has
+// room again.
+func TestClientRetriesShed(t *testing.T) {
+	var calls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			writeError(w, http.StatusServiceUnavailable, ErrOverloaded)
+			return
+		}
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, HTTP: ts.Client(), MaxRetries: 3, Backoff: time.Millisecond}
+	var out map[string]bool
+	if _, err := c.PostJSON(context.Background(), "/v1/run", Query{App: "a"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 sheds + 1 success)", got)
+	}
+	if !out["ok"] {
+		t.Fatalf("decoded %v", out)
+	}
+}
+
+// Hard failures (here 500) are not retried: they would not get better,
+// and hammering a broken server makes outages worse.
+func TestClientDoesNotRetryHardErrors(t *testing.T) {
+	var calls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusInternalServerError, errors.New("broken"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, HTTP: ts.Client(), MaxRetries: 3, Backoff: time.Millisecond}
+	_, err := c.PostJSON(context.Background(), "/v1/run", Query{App: "a"}, nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want a 500 StatusError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want exactly 1", got)
+	}
+}
+
+// A bounded shed storm exhausts the retry budget and surfaces the 503.
+func TestClientGivesUpAfterBudget(t *testing.T) {
+	var calls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		writeError(w, http.StatusServiceUnavailable, ErrOverloaded)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, HTTP: ts.Client(), MaxRetries: 2, Backoff: time.Millisecond}
+	_, err := c.PostJSON(context.Background(), "/v1/run", Query{App: "a"}, nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the final 503", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 try + 2 retries)", got)
+	}
+}
+
+// WaitReady rides through refused connections and draining answers until
+// the server reports ready — the restart-detection primitive of the
+// chaos harness.
+func TestClientWaitReady(t *testing.T) {
+	var ready atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, HTTP: ts.Client(), Backoff: time.Millisecond}
+	if err := c.WaitReady(context.Background(), 200*time.Millisecond); err == nil {
+		t.Fatal("WaitReady succeeded against a draining server")
+	}
+	ready.Store(true)
+	if err := c.WaitReady(context.Background(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,11 @@ type LoadReport struct {
 	Duration    time.Duration
 	P50, P90    time.Duration
 	P99         time.Duration
+	// Shed counts well-formed load-shedding answers: 503 with a
+	// Retry-After header. A 503 *without* Retry-After is a protocol
+	// violation and counts as an error instead, as does any other 5xx —
+	// overload must be shed cleanly or not at all.
+	Shed int
 	// FirstError carries the first non-OK body observed, for diagnostics.
 	FirstError string
 }
@@ -30,14 +35,31 @@ func (r *LoadReport) ThroughputRPS() float64 {
 	if r.Duration <= 0 {
 		return 0
 	}
-	return float64(r.Requests-r.Errors) / r.Duration.Seconds()
+	return float64(r.Requests-r.Errors-r.Shed) / r.Duration.Seconds()
+}
+
+// ErrorRate is the fraction of requests that failed (sheds excluded).
+func (r *LoadReport) ErrorRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Requests)
+}
+
+// ShedRate is the fraction of requests the server shed with 503.
+func (r *LoadReport) ShedRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Requests)
 }
 
 // String renders the report as one human line.
 func (r *LoadReport) String() string {
-	return fmt.Sprintf("%-12s %4d reqs × %d workers in %8s  →  %8.2f req/s   p50 %s  p90 %s  p99 %s  (%d errors)",
+	return fmt.Sprintf("%-12s %4d reqs × %d workers in %8s  →  %8.2f req/s   p50 %s  p90 %s  p99 %s  (%.0f%% errors, %.0f%% shed)",
 		r.Name, r.Requests, r.Concurrency, r.Duration.Round(time.Millisecond), r.ThroughputRPS(),
-		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Errors)
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		100*r.ErrorRate(), 100*r.ShedRate())
 }
 
 // Target is one request of a load stream: a JSON body POSTed to a URL.
@@ -59,6 +81,7 @@ func Hammer(name string, client *http.Client, targets []Target, concurrency int)
 	}
 	latencies := make([]time.Duration, len(targets))
 	errs := make([]string, len(targets))
+	sheds := make([]bool, len(targets))
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < concurrency; w++ {
@@ -74,8 +97,16 @@ func Hammer(name string, client *http.Client, targets []Target, concurrency int)
 				}
 				body, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
-				latencies[i] = time.Since(t0)
-				if resp.StatusCode != http.StatusOK {
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					latencies[i] = time.Since(t0)
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						errs[i] = fmt.Sprintf("shed without Retry-After: %s", bytes.TrimSpace(body))
+					} else {
+						sheds[i] = true
+					}
+				default:
 					errs[i] = fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 				}
 			}
@@ -90,6 +121,10 @@ func Hammer(name string, client *http.Client, targets []Target, concurrency int)
 			if rep.FirstError == "" {
 				rep.FirstError = errs[i]
 			}
+			continue
+		}
+		if sheds[i] {
+			rep.Shed++
 			continue
 		}
 		ok = append(ok, l)

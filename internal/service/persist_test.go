@@ -1,0 +1,45 @@
+package service
+
+import (
+	"math"
+	"testing"
+)
+
+// TraceKey.String and ParseTraceKey must round-trip bit-for-bit: these
+// strings are the persistent identities in the trace store, so a restart
+// that re-derives them differently would orphan every stored entry.
+func TestTraceKeyRoundTrip(t *testing.T) {
+	keys := []TraceKey{
+		{App: "aes-query", Scale: 1, Seed: 0},
+		{App: "aes-query", Scale: 0.1, Seed: 42},
+		{App: "<AES, QUERY>", Scale: 1.0 / 3.0, Seed: -7},
+		{App: "weird@app#name", Scale: 1e-3, Seed: math.MaxInt64},
+		{App: "x", Scale: math.SmallestNonzeroFloat64, Seed: math.MinInt64},
+	}
+	for _, k := range keys {
+		got, err := ParseTraceKey(k.String())
+		if err != nil {
+			t.Fatalf("parse %q: %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("round trip %q: got %+v, want %+v", k.String(), got, k)
+		}
+	}
+}
+
+func TestParseTraceKeyRejects(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"no-separators",
+		"app#5",      // no scale
+		"@1#5",       // empty app
+		"a@x#5",      // bad scale
+		"a@1#x",      // bad seed
+		"a@1#",       // empty seed
+		"a@1.5#5abc", // trailing junk in seed
+	} {
+		if k, err := ParseTraceKey(s); err == nil {
+			t.Fatalf("ParseTraceKey(%q) accepted as %+v", s, k)
+		}
+	}
+}

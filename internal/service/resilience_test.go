@@ -1,0 +1,294 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ironhide/internal/store"
+)
+
+// With every slot busy and no queue, a request is shed promptly with 503
+// and the configured Retry-After hint; once capacity frees up the same
+// request is admitted.
+func TestOverloadShedsWith503(t *testing.T) {
+	s, ts := testServer(t, Config{AdmitCapacity: 1, AdmitQueue: 0, RetryAfter: 2 * time.Second})
+	if err := s.gate.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{App: "sssp-graph", Model: "Insecure", Scale: 0.1, Seed: 2, FixedSecureCores: 16}
+	start := time.Now()
+	resp, body := post(t, ts, "/v1/run", q)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s, want 503", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shed took %v, want prompt rejection", elapsed)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || !strings.Contains(er.Error, "overloaded") {
+		t.Fatalf("shed body %s", body)
+	}
+	if st := s.gate.stats(); st.Shed != 1 {
+		t.Fatalf("gate stats %+v: want 1 shed", st)
+	}
+
+	s.gate.release()
+	resp, body = post(t, ts, "/v1/run", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status %d: %s", resp.StatusCode, body)
+	}
+	st := s.gate.stats()
+	if st.Admitted != 2 || st.InUse != 0 {
+		t.Fatalf("gate stats %+v: want 2 admitted, all slots returned", st)
+	}
+
+	// The shed shows up in /v1/status for operators.
+	var sr StatusResponse
+	hresp, err := ts.Client().Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if err := json.NewDecoder(hresp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Admission.Shed != 1 || sr.Admission.Capacity != 1 {
+		t.Fatalf("status admission %+v", sr.Admission)
+	}
+}
+
+// A request whose deadline expires while queued for a slot is shed (503 +
+// Retry-After), not reported as a gateway timeout: it never started, so
+// retrying later is the correct client move.
+func TestQueuedDeadlineShedsNot504(t *testing.T) {
+	s, ts := testServer(t, Config{AdmitCapacity: 1, AdmitQueue: 4})
+	if err := s.gate.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.gate.release()
+	q := Query{App: "sssp-graph", Model: "Insecure", Scale: 0.1, Seed: 2, TimeoutMs: 50}
+	resp, body := post(t, ts, "/v1/run", q)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+}
+
+// Full crash/restart cycle over the persistent store: a captured trace
+// survives the crash, pre-warms the restarted server's cache, and the
+// response bytes are identical across the restart — with zero
+// re-captures. A corrupted store file is quarantined and transparently
+// re-captured, never served.
+func TestStoreWarmRestartServesWithoutRecapture(t *testing.T) {
+	fs := store.NewMemFS()
+	st1, _, err := store.Open("db", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := testServer(t, Config{Store: st1})
+	q := Query{App: "aes-query", Model: "IRONHIDE", Scale: 0.1, Seed: 3}
+	resp, body1 := post(t, ts1, "/v1/run", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body1)
+	}
+	if got := resp.Header.Get("X-Ironhide-Cache"); got != srcCapture {
+		t.Fatalf("first request source %q, want capture", got)
+	}
+	if st1.Len() != 1 {
+		t.Fatalf("store holds %d entries after capture, want 1 (write-through)", st1.Len())
+	}
+
+	// Crash the machine, restart the daemon.
+	fs.Crash()
+	st2, rep, err := store.Open("db", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 1 || rep.Quarantined != 0 {
+		t.Fatalf("post-crash scan %+v, want the entry recovered intact", rep)
+	}
+	s2, ts2 := testServer(t, Config{Store: st2})
+	if s2.persist.prewarmed != 1 {
+		t.Fatalf("prewarmed %d entries, want 1", s2.persist.prewarmed)
+	}
+	resp, body2 := post(t, ts2, "/v1/run", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart status %d: %s", resp.StatusCode, body2)
+	}
+	if got := resp.Header.Get("X-Ironhide-Cache"); got != srcHit {
+		t.Fatalf("post-restart source %q, want hit (pre-warmed)", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("response diverged across restart:\n%s\nvs\n%s", body1, body2)
+	}
+	if st := s2.Cache().Stats(); st.Captures != 0 {
+		t.Fatalf("cache stats %+v: warm restart must not re-capture", st)
+	}
+
+	// Corrupt the stored entry and crash again: the restart quarantines it
+	// and the server transparently re-captures — it never serves rot.
+	fs.Crash()
+	names, err := fs.ReadDir("db")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("store dir: %v %v", names, err)
+	}
+	if err := fs.Corrupt("db/"+names[0], 20); err != nil {
+		t.Fatal(err)
+	}
+	st3, rep3, err := store.Open("db", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Recovered != 0 || rep3.Quarantined != 1 {
+		t.Fatalf("post-corruption scan %+v, want the entry quarantined", rep3)
+	}
+	s3, ts3 := testServer(t, Config{Store: st3})
+	if s3.persist.prewarmed != 0 {
+		t.Fatalf("prewarmed %d from a quarantined store, want 0", s3.persist.prewarmed)
+	}
+	resp, body3 := post(t, ts3, "/v1/run", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-corruption status %d: %s", resp.StatusCode, body3)
+	}
+	if got := resp.Header.Get("X-Ironhide-Cache"); got != srcCapture {
+		t.Fatalf("post-corruption source %q, want a fresh capture", got)
+	}
+	if !bytes.Equal(body1, body3) {
+		t.Fatalf("re-captured response diverged from the original:\n%s\nvs\n%s", body1, body3)
+	}
+}
+
+// Read-through: an entry in the store but not in the LRU (evicted, or a
+// small cache after restart) is served from disk — header "store" — and
+// lands back in the LRU.
+func TestStoreReadThrough(t *testing.T) {
+	fs := store.NewMemFS()
+	st1, _, err := store.Open("db", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := testServer(t, Config{Store: st1})
+	var bodies [2][]byte
+	for i, seed := range []int64{3, 4} {
+		q := Query{App: "aes-query", Model: "IRONHIDE", Scale: 0.1, Seed: seed}
+		resp, b := post(t, ts1, "/v1/run", q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", seed, resp.StatusCode, b)
+		}
+		bodies[i] = b
+	}
+	if st1.Len() != 2 {
+		t.Fatalf("store holds %d entries, want 2", st1.Len())
+	}
+
+	// Restart with a 1-entry cache: only the alphabetically-first key is
+	// pre-warmed; the other must come back via read-through.
+	fs.Crash()
+	st2, _, err := store.Open("db", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := testServer(t, Config{Store: st2, CacheTraces: 1})
+	if s2.persist.prewarmed != 1 {
+		t.Fatalf("prewarmed %d entries into a 1-slot cache, want 1", s2.persist.prewarmed)
+	}
+	q := Query{App: "aes-query", Model: "IRONHIDE", Scale: 0.1, Seed: 4}
+	resp, b := post(t, ts2, "/v1/run", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Ironhide-Cache"); got != srcStore {
+		t.Fatalf("source %q, want store (read-through)", got)
+	}
+	if !bytes.Equal(b, bodies[1]) {
+		t.Fatalf("read-through response diverged:\n%s\nvs\n%s", b, bodies[1])
+	}
+	if st := s2.Cache().Stats(); st.Captures != 1 {
+		// The cache-level "capture" ran, but it was answered by the store:
+		t.Fatalf("cache stats %+v: want 1 cache fill", st)
+	}
+	// Same key again: now in the LRU.
+	resp, _ = post(t, ts2, "/v1/run", q)
+	if got := resp.Header.Get("X-Ironhide-Cache"); got != srcHit {
+		t.Fatalf("second read source %q, want hit", got)
+	}
+}
+
+// Request bodies beyond the cap are rejected with 413 before any decode
+// or simulation work.
+func TestOversizeBodyRejected(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	big := fmt.Sprintf(`{"app":%q,"model":"IRONHIDE"}`, strings.Repeat("x", maxRequestBody))
+	resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	if st := s.Cache().Stats(); st.Captures != 0 {
+		t.Fatalf("cache stats %+v: oversized body must not reach the simulator", st)
+	}
+}
+
+// Liveness vs readiness: healthz stays 200 through a drain, readyz flips
+// to 503 so load balancers route away first.
+func TestHealthAndReadiness(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := get("/v1/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if resp := get("/v1/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d", resp.StatusCode)
+	}
+
+	s.SetReady(false) // drain begins
+	if resp := get("/v1/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain: %d, liveness must hold", resp.StatusCode)
+	}
+	resp := get("/v1/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz missing Retry-After")
+	}
+	var sr StatusResponse
+	hresp, err := ts.Client().Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if err := json.NewDecoder(hresp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Ready {
+		t.Fatal("status still reports ready during drain")
+	}
+
+	s.SetReady(true)
+	if resp := get("/v1/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after undrain: %d", resp.StatusCode)
+	}
+}

@@ -17,23 +17,35 @@
 //	POST /v1/grid     a batch of cells fanned out over the runner pool
 //	POST /v1/scenario a multi-tenant dynamic-reconfiguration timeline
 //	                  (internal/scenario) run over the shared trace cache
-//	GET  /v1/status   uptime, in-flight counts, trace-cache stats
+//	GET  /v1/status   uptime, in-flight counts, admission/cache/store stats
+//	GET  /v1/healthz  process liveness (always 200 while serving)
+//	GET  /v1/readyz   load-balancer readiness; 503 once draining
 //
 // Responses to identical queries are byte-identical (the simulation is
 // deterministic and cache metadata travels in the X-Ironhide-Cache
 // header, not the body). Per-request deadlines come from the request's
 // timeout_ms or the server default; a timed-out capture keeps running in
-// the background and lands in the cache, so a retry after a timeout is
-// typically a cheap replay.
+// the background (bounded by Config.CaptureGrace) and lands in the
+// cache, so a retry after a timeout is typically a cheap replay.
+//
+// Resilience: simulation endpoints pass an admission gate — a semaphore
+// with a bounded wait queue — and excess load is shed with 503 plus a
+// Retry-After hint instead of queueing without bound. With a Config.Store
+// the server is crash-safe: every captured trace is written through to a
+// checksummed, fsync'd store and the cache is pre-warmed from it at
+// startup, so a restart serves warm replays instead of re-capturing.
 package service
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,11 +55,20 @@ import (
 	"ironhide/internal/enclave"
 	"ironhide/internal/runner"
 	"ironhide/internal/scenario"
+	"ironhide/internal/store"
 	"ironhide/internal/trace"
 )
 
 // MaxGridCells bounds one /v1/grid request.
 const MaxGridCells = 256
+
+// maxRequestBody bounds one request body; larger bodies get 413. A full
+// 256-cell grid request fits in a few tens of kilobytes, so 1 MiB is
+// generous without letting a client buffer arbitrary amounts.
+const maxRequestBody = 1 << 20
+
+// errBodyTooLarge marks a request body rejected by the size cap.
+var errBodyTooLarge = errors.New("request body too large")
 
 // Config tunes the server.
 type Config struct {
@@ -60,15 +81,35 @@ type Config struct {
 	// DefaultTimeout applies when a request carries no timeout_ms
 	// (default 60s; <0 disables the default deadline).
 	DefaultTimeout time.Duration
+	// Store persists captured traces across restarts (nil = memory only).
+	// Captures write through to it; at startup the cache is pre-warmed
+	// from it.
+	Store *store.Store
+	// AdmitCapacity bounds concurrently executing simulation requests
+	// (0 = no admission control; status/health endpoints are never gated).
+	AdmitCapacity int
+	// AdmitQueue bounds requests waiting for an execution slot before
+	// load-shedding kicks in (meaningful only with AdmitCapacity > 0).
+	AdmitQueue int
+	// RetryAfter is the hint attached to shed (503) responses (default 1s).
+	RetryAfter time.Duration
+	// CaptureGrace bounds how long a capture whose callers have all gone
+	// keeps running before it is aborted at a checkpoint. 0 means the
+	// default — run to completion, which keeps a post-timeout retry cheap;
+	// set a positive bound to reclaim capacity under churn.
+	CaptureGrace time.Duration
 }
 
 // Server answers simulation queries over HTTP. It is safe for concurrent
 // use; create one with New.
 type Server struct {
-	cfg   Config
-	cache *TraceCache
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	cache   *TraceCache
+	gate    *gate
+	persist *persistence
+	mux     *http.ServeMux
+	start   time.Time
+	ready   atomic.Bool
 
 	served                                    atomic.Int64
 	inflightSearch, inflightRun, inflightGrid atomic.Int64
@@ -86,12 +127,27 @@ func New(cfg Config) *Server {
 	if cfg.DefaultTimeout == 0 {
 		cfg.DefaultTimeout = 60 * time.Second
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.CaptureGrace == 0 {
+		cfg.CaptureGrace = -1
+	}
 	s := &Server{cfg: cfg, cache: NewTraceCache(cfg.CacheTraces), mux: http.NewServeMux(), start: time.Now()}
+	s.cache.SetCaptureGrace(cfg.CaptureGrace)
+	s.gate = newGate(cfg.AdmitCapacity, cfg.AdmitQueue)
+	if cfg.Store != nil {
+		s.persist = &persistence{st: cfg.Store}
+		s.persist.prewarm(s.cache)
+	}
+	s.ready.Store(true)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/grid", s.handleGrid)
 	s.mux.HandleFunc("POST /v1/scenario", s.handleScenario)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	return s
 }
 
@@ -103,6 +159,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Cache exposes the trace cache (the selftest inspects its stats).
 func (s *Server) Cache() *TraceCache { return s.cache }
+
+// SetReady flips the /v1/readyz answer. main calls SetReady(false) when a
+// drain starts, so load balancers stop routing to this instance before
+// in-flight requests finish.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current readiness state.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Query is the request body of /v1/search and /v1/run, and one cell of a
 // /v1/grid batch.
@@ -145,6 +209,11 @@ func (q Query) Options() driver.Options {
 		SearchWorkers:    q.SearchWorkers,
 		Seed:             q.Seed,
 	}
+}
+
+// key is the trace-cache identity of the query.
+func (q Query) key(entry apps.Entry) TraceKey {
+	return TraceKey{App: entry.Name, Scale: q.scale(), Seed: q.Seed}
 }
 
 // resolve validates the query's application and model names.
@@ -209,10 +278,13 @@ type GridResponse struct {
 
 // StatusResponse is /v1/status's body.
 type StatusResponse struct {
-	UptimeSeconds float64       `json:"uptime_seconds"`
-	Served        int64         `json:"served"`
-	InFlight      InFlightStats `json:"in_flight"`
-	Cache         CacheStats    `json:"cache"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Ready         bool           `json:"ready"`
+	Served        int64          `json:"served"`
+	InFlight      InFlightStats  `json:"in_flight"`
+	Admission     AdmissionStats `json:"admission"`
+	Cache         CacheStats     `json:"cache"`
+	Store         *StoreStatus   `json:"store,omitempty"`
 }
 
 // InFlightStats counts requests currently executing per endpoint.
@@ -243,20 +315,57 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // errorStatus maps an execution error to an HTTP status.
 func errorStatus(err error) int {
 	switch {
-	case err == context.DeadlineExceeded || err == context.Canceled:
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, errBodyTooLarge):
+		return http.StatusRequestEntityTooLarge
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
-func decodeBody(r *http.Request, v any) error {
+// writeWorkError maps an execution error onto the wire, attaching the
+// Retry-After hint to shed responses so clients back off by the server's
+// clock, not a guess.
+func (s *Server) writeWorkError(w http.ResponseWriter, err error) {
+	status := errorStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	writeError(w, status, err)
+}
+
+func (s *Server) retryAfterSeconds() int {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// decodeBody parses a JSON request body, bounded by maxRequestBody.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("request body exceeds %d bytes: %w", mbe.Limit, errBodyTooLarge)
+		}
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
+}
+
+// decodeStatus picks the status for a decodeBody error.
+func decodeStatus(err error) int {
+	if errors.Is(err, errBodyTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // requestContext derives the per-request deadline.
@@ -271,37 +380,66 @@ func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Conte
 	return context.WithTimeout(r.Context(), timeout)
 }
 
+// ctxInterrupt adapts a request context to driver.Options.Interrupt: the
+// replay or search stops at its next checkpoint once the request is
+// abandoned, instead of completing for a caller that already got a 504.
+func ctxInterrupt(ctx context.Context) func() error {
+	return ctx.Err
+}
+
+// Cache-source header values: how the trace behind a response was
+// obtained.
+const (
+	srcHit     = "hit"     // settled LRU entry (or coalesced onto one capture)
+	srcStore   = "store"   // loaded from the persistent store
+	srcCapture = "capture" // freshly captured
+)
+
 // cacheHeader reports how the trace behind a response was obtained.
-func cacheHeader(w http.ResponseWriter, hit bool) {
-	if hit {
-		w.Header().Set("X-Ironhide-Cache", "hit")
-	} else {
-		w.Header().Set("X-Ironhide-Cache", "capture")
-	}
+func cacheHeader(w http.ResponseWriter, src string) {
+	w.Header().Set("X-Ironhide-Cache", src)
 }
 
 // outcome is one handler's computed response.
 type outcome struct {
-	body      any
-	withCache bool // set the X-Ironhide-Cache header from hit
-	hit       bool
-	err       error
+	body any
+	src  string // X-Ironhide-Cache value ("" = no header)
+	err  error
+}
+
+// admit takes an execution slot for the request, shedding with 503 +
+// Retry-After when the server is saturated. On success the slot is held
+// until the admitted work settles (respond releases it), not until the
+// handler returns — a timed-out request's background work occupies its
+// slot until a cancellation checkpoint stops it, which is exactly the
+// capacity the gate is protecting.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
+	if err := s.gate.acquire(ctx); err != nil {
+		s.writeWorkError(w, err)
+		return false
+	}
+	return true
 }
 
 // respond runs work on its own goroutine and writes its outcome, mapping
 // a ctx expiry to 504 while the work finishes in the background (a
-// timed-out capture still fills the cache; see the package doc).
-func respond(ctx context.Context, w http.ResponseWriter, work func() outcome) {
+// timed-out capture still fills the cache; see the package doc). The
+// caller must have passed admit: the admission slot is released when the
+// work settles.
+func (s *Server) respond(ctx context.Context, w http.ResponseWriter, work func() outcome) {
 	ch := make(chan outcome, 1)
-	go func() { ch <- work() }()
+	go func() {
+		defer s.gate.release()
+		ch <- work()
+	}()
 	select {
 	case o := <-ch:
 		if o.err != nil {
-			writeError(w, errorStatus(o.err), o.err)
+			s.writeWorkError(w, o.err)
 			return
 		}
-		if o.withCache {
-			cacheHeader(w, o.hit)
+		if o.src != "" {
+			cacheHeader(w, o.src)
 		}
 		writeJSON(w, http.StatusOK, o.body)
 	case <-ctx.Done():
@@ -309,20 +447,42 @@ func respond(ctx context.Context, w http.ResponseWriter, work func() outcome) {
 	}
 }
 
-// getTrace fetches or captures the query's trace through the cache.
-func (s *Server) getTrace(ctx context.Context, entry apps.Entry, q Query) (*trace.Trace, bool, error) {
-	key := TraceKey{App: entry.Name, Scale: q.scale(), Seed: q.Seed}
-	return s.cache.GetOrCapture(ctx, key, func() (*trace.Trace, error) {
-		return driver.CaptureTrace(s.cfg.Arch, entry.Factory, q.Options())
+// getTrace fetches the query's trace through three levels: the LRU cache,
+// the persistent store (read-through), then a fresh capture (written
+// through to the store). src reports which level answered: srcHit,
+// srcStore or srcCapture.
+func (s *Server) getTrace(ctx context.Context, entry apps.Entry, key TraceKey, opts driver.Options) (*trace.Trace, string, error) {
+	fromStore := false
+	tr, hit, err := s.cache.GetOrCapture(ctx, key, func(interrupt func() error) (*trace.Trace, error) {
+		if stored, ok := s.persist.load(key); ok {
+			fromStore = true
+			return stored, nil
+		}
+		opts.Interrupt = interrupt
+		captured, err := driver.CaptureTrace(s.cfg.Arch, entry.Factory, opts)
+		if err == nil {
+			s.persist.save(key, captured)
+		}
+		return captured, err
 	})
+	switch {
+	case err != nil:
+		return nil, "", err
+	case hit:
+		return tr, srcHit, nil
+	case fromStore:
+		return tr, srcStore, nil
+	default:
+		return tr, srcCapture, nil
+	}
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.inflightSearch.Add(1)
 	defer s.inflightSearch.Add(-1)
 	var q Query
-	if err := decodeBody(r, &q); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &q); err != nil {
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	entry, mf, err := resolve(q)
@@ -337,12 +497,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, q.TimeoutMs)
 	defer cancel()
-	respond(ctx, w, func() outcome {
-		tr, hit, err := s.getTrace(ctx, entry, q)
+	if !s.admit(ctx, w) {
+		return
+	}
+	s.respond(ctx, w, func() outcome {
+		tr, src, err := s.getTrace(ctx, entry, q.key(entry), q.Options())
 		if err != nil {
 			return outcome{err: err}
 		}
 		opts := q.Options()
+		opts.Interrupt = ctxInterrupt(ctx)
 		sr, err := driver.SearchTrace(s.cfg.Arch, mf(), tr, opts)
 		if err != nil {
 			return outcome{err: err}
@@ -354,7 +518,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return outcome{err: err}
 		}
-		return outcome{withCache: true, hit: hit, body: SearchResponse{
+		return outcome{src: src, body: SearchResponse{
 			App:              res.App,
 			Model:            res.Model,
 			SecureCores:      sr.SecureCores,
@@ -372,8 +536,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.inflightRun.Add(1)
 	defer s.inflightRun.Add(-1)
 	var q Query
-	if err := decodeBody(r, &q); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &q); err != nil {
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	entry, mf, err := resolve(q)
@@ -383,15 +547,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, q.TimeoutMs)
 	defer cancel()
-	respond(ctx, w, func() outcome {
-		tr, hit, err := s.getTrace(ctx, entry, q)
+	if !s.admit(ctx, w) {
+		return
+	}
+	s.respond(ctx, w, func() outcome {
+		tr, src, err := s.getTrace(ctx, entry, q.key(entry), q.Options())
 		if err != nil {
 			return outcome{err: err}
 		}
-		res, err := driver.RunTrace(s.cfg.Arch, mf(), tr, q.Options())
+		opts := q.Options()
+		opts.Interrupt = ctxInterrupt(ctx)
+		res, err := driver.RunTrace(s.cfg.Arch, mf(), tr, opts)
 		// The body is exactly the driver Result, so an online answer can be
 		// diffed byte-for-byte against the batch path.
-		return outcome{withCache: true, hit: hit, body: res, err: err}
+		return outcome{src: src, body: res, err: err}
 	})
 }
 
@@ -399,8 +568,8 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	s.inflightGrid.Add(1)
 	defer s.inflightGrid.Add(-1)
 	var req GridRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if len(req.Cells) == 0 {
@@ -434,7 +603,10 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	respond(ctx, w, func() outcome {
+	if !s.admit(ctx, w) {
+		return
+	}
+	s.respond(ctx, w, func() outcome {
 		// Capture (or fetch) each distinct trace once, fanned out over the
 		// worker pool, so the grid shares captures across its cells.
 		type prefetched struct {
@@ -444,7 +616,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		keyIndex := map[TraceKey]int{}
 		var unique []int // cell index introducing each distinct key
 		keyOf := func(i int) TraceKey {
-			return TraceKey{App: entries[i].Name, Scale: req.Cells[i].scale(), Seed: req.Cells[i].Seed}
+			return req.Cells[i].key(entries[i])
 		}
 		for i := range req.Cells {
 			if _, ok := keyIndex[keyOf(i)]; !ok {
@@ -453,7 +625,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		traces, _ := runner.Map(workers, unique, func(_ int, cell int) (prefetched, error) {
-			tr, _, err := s.getTrace(ctx, entries[cell], req.Cells[cell])
+			tr, _, err := s.getTrace(ctx, entries[cell], keyOf(cell), req.Cells[cell].Options())
 			return prefetched{tr: tr, err: err}, nil
 		})
 
@@ -475,6 +647,9 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 				// seeds (and results) of the surviving cells.
 				opts.Seed = runner.SeedFor(1, i)
 			}
+			// An abandoned batch stops each in-flight replay at its next
+			// round checkpoint, complementing the dispatch-level Ctx below.
+			opts.Interrupt = ctxInterrupt(ctx)
 			jobs = append(jobs, runner.Job{Key: key, App: entries[i].Factory, Model: models[i], Opts: opts, Trace: pf.tr})
 			jobCell = append(jobCell, i)
 		}
@@ -509,8 +684,8 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	s.inflightScenario.Add(1)
 	defer s.inflightScenario.Add(-1)
 	var req ScenarioRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	// Fail fast on client mistakes: the timeline length, plus everything
@@ -526,32 +701,46 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	respond(ctx, w, func() outcome {
+	if !s.admit(ctx, w) {
+		return
+	}
+	s.respond(ctx, w, func() outcome {
 		// Phases reuse per-application traces through the shared LRU cache;
 		// scenario traces are seed-independent (the seed steers the
 		// timeline and attestation keys, never the recorded stream), so
 		// they are cached under seed 0 and shared across scenario seeds.
-		captured := false
+		// The header reports the most expensive source any phase touched.
+		var srcMu sync.Mutex
+		worst := srcHit
+		rank := map[string]int{srcHit: 0, srcStore: 1, srcCapture: 2}
 		opts := scenario.Options{
 			Workers: s.cfg.GridWorkers,
 			TraceFor: func(entry apps.Entry, scale float64) (*trace.Trace, error) {
-				tr, hit, err := s.cache.GetOrCapture(ctx, TraceKey{App: entry.Name, Scale: scale}, func() (*trace.Trace, error) {
-					return driver.CaptureTrace(s.cfg.Arch, entry.Factory, driver.Options{Scale: scale})
-				})
-				if !hit {
-					captured = true
+				key := TraceKey{App: entry.Name, Scale: scale}
+				tr, src, err := s.getTrace(ctx, entry, key, driver.Options{Scale: scale})
+				if err != nil {
+					return nil, err
 				}
-				return tr, err
+				srcMu.Lock()
+				if rank[src] > rank[worst] {
+					worst = src
+				}
+				srcMu.Unlock()
+				return tr, nil
 			},
 		}
 		rep, err := scenario.Run(s.cfg.Arch, req.Spec, opts)
-		return outcome{withCache: true, hit: !captured, body: rep, err: err}
+		srcMu.Lock()
+		src := worst
+		srcMu.Unlock()
+		return outcome{src: src, body: rep, err: err}
 	})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatusResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Ready:         s.ready.Load(),
 		Served:        s.served.Load(),
 		InFlight: InFlightStats{
 			Search:   s.inflightSearch.Load(),
@@ -559,6 +748,28 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Grid:     s.inflightGrid.Load(),
 			Scenario: s.inflightScenario.Load(),
 		},
-		Cache: s.cache.Stats(),
+		Admission: s.gate.stats(),
+		Cache:     s.cache.Stats(),
+		Store:     s.persist.status(),
 	})
+}
+
+// handleHealthz is process liveness: 200 whenever the server can answer
+// at all, draining or not.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReadyz is load-balancer readiness: 200 while accepting new work,
+// 503 once draining so traffic shifts away before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.ready.Load() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 }

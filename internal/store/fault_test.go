@@ -1,0 +1,231 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// openMem opens a store over a fresh MemFS wrapped in the fault injector.
+func openMem(t *testing.T, inject func(*FaultFS)) (*Store, *MemFS, *FaultFS) {
+	t.Helper()
+	mem := NewMemFS()
+	ff := &FaultFS{Inner: mem}
+	if inject != nil {
+		inject(ff)
+	}
+	s, _, err := Open("db", ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, mem, ff
+}
+
+// reopen crashes the filesystem and re-scans — the restart path.
+func reopen(t *testing.T, mem *MemFS) (*Store, ScanReport) {
+	t.Helper()
+	mem.Crash()
+	s, rep, err := Open("db", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rep
+}
+
+// assertIntact asserts the key survives a restart with exactly payload.
+func assertIntact(t *testing.T, s *Store, key string, want []byte) {
+	t.Helper()
+	got, ok, err := s.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, want) {
+		t.Fatalf("entry %q not intact after recovery: ok=%v err=%v", key, ok, err)
+	}
+}
+
+// assertAbsent asserts the key is a clean miss — not an error, not corrupt
+// bytes.
+func assertAbsent(t *testing.T, s *Store, key string) {
+	t.Helper()
+	got, ok, err := s.Get(key)
+	if ok || err != nil || got != nil {
+		t.Fatalf("entry %q should be a clean miss: got=%v ok=%v err=%v", key, got, ok, err)
+	}
+}
+
+// TestFailedWriteLosesOnlyInFlight: the data write fails outright. The
+// in-flight entry is lost, the previously committed entry and a previously
+// committed value of the same key survive.
+func TestFailedWriteLosesOnlyInFlight(t *testing.T) {
+	s, mem, _ := openMem(t, nil)
+	if err := s.Put("stable", payload(64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("victim", payload(64, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewire injection: fail the next write (the 3rd overall).
+	ff := &FaultFS{Inner: mem, FailWriteN: 1}
+	s2, _, err := Open("db", ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s2.Put("victim", payload(64, 9))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put with failed write: err=%v, want injected", err)
+	}
+
+	s3, rep := reopen(t, mem)
+	if rep.Recovered != 2 {
+		t.Fatalf("scan %+v, want 2 recovered", rep)
+	}
+	assertIntact(t, s3, "stable", payload(64, 1))
+	assertIntact(t, s3, "victim", payload(64, 2)) // old value, not the torn new one
+}
+
+// TestTornWriteQuarantinedOrSwept: the write tears after k bytes for every
+// prefix length of the frame. Whatever the crash leaves behind — a partial
+// temp file — must be swept on restart, and the committed state stay
+// intact.
+func TestTornWriteQuarantinedOrSwept(t *testing.T) {
+	frameLen := len(EncodeEntry("victim", payload(64, 9)))
+	for k := 0; k <= frameLen; k += 7 {
+		mem := NewMemFS()
+		base, _, err := Open("db", &FaultFS{Inner: mem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := base.Put("stable", payload(64, 1)); err != nil {
+			t.Fatal(err)
+		}
+
+		ff := &FaultFS{Inner: mem, TearWriteN: 1, TearBytes: k}
+		s, _, err := Open("db", ff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put("victim", payload(64, 9)); !errors.Is(err, ErrInjected) {
+			t.Fatalf("k=%d: torn Put err=%v, want injected", k, err)
+		}
+
+		s2, rep := reopen(t, mem)
+		if rep.Quarantined != 0 {
+			t.Fatalf("k=%d: torn temp file quarantined (%+v), want swept", k, rep)
+		}
+		assertIntact(t, s2, "stable", payload(64, 1))
+		assertAbsent(t, s2, "victim")
+	}
+}
+
+// TestFailedFsyncNeverServesTornState: fsync fails; Put reports the error;
+// after the crash the entry either never appears or — had the rename
+// somehow been observed — is quarantined. It is never served.
+func TestFailedFsyncNeverServesTornState(t *testing.T) {
+	s, mem, _ := openMem(t, func(ff *FaultFS) { ff.FailSyncN = 1 })
+	if err := s.Put("victim", payload(64, 9)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put with failed fsync: err=%v, want injected", err)
+	}
+	s2, rep := reopen(t, mem)
+	if rep.Recovered != 0 {
+		t.Fatalf("scan %+v, want nothing recovered", rep)
+	}
+	assertAbsent(t, s2, "victim")
+}
+
+// TestCrashBeforeRename: data written and synced but the process dies
+// before the rename. The temp file must be swept, the entry absent.
+func TestCrashBeforeRename(t *testing.T) {
+	s, mem, _ := openMem(t, func(ff *FaultFS) { ff.FailRenameN = 1 })
+	if err := s.Put("victim", payload(64, 9)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put with failed rename: err=%v, want injected", err)
+	}
+	s2, rep := reopen(t, mem)
+	if rep.Recovered != 0 {
+		t.Fatalf("scan %+v, want nothing recovered", rep)
+	}
+	assertAbsent(t, s2, "victim")
+}
+
+// TestCrashAfterRenameBeforeDirSync: the rename happened but the directory
+// update was never flushed. POSIX allows the entry to be lost; it must not
+// be corrupt. With MemFS semantics the durable directory never saw the
+// name, so the entry is cleanly absent and the synced temp content is
+// swept.
+func TestCrashAfterRenameBeforeDirSync(t *testing.T) {
+	s, mem, _ := openMem(t, func(ff *FaultFS) { ff.FailDirSyncN = 1 })
+	err := s.Put("victim", payload(64, 9))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put with failed dir sync: err=%v, want injected", err)
+	}
+	s2, rep := reopen(t, mem)
+	if rep.Recovered != 0 {
+		t.Fatalf("scan %+v, want nothing recovered", rep)
+	}
+	assertAbsent(t, s2, "victim")
+}
+
+// TestCrashMidBatch simulates a kill -9 during a stream of puts: commit i
+// puts, crash, restart — exactly the committed prefix must be recovered,
+// each entry intact.
+func TestCrashMidBatch(t *testing.T) {
+	const total = 8
+	for committed := 0; committed <= total; committed++ {
+		mem := NewMemFS()
+		s, _, err := Open("db", mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < committed; i++ {
+			if err := s.Put(key(i), payload(128+i, byte(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s2, rep := reopen(t, mem)
+		if rep.Recovered != committed || rep.Quarantined != 0 {
+			t.Fatalf("committed=%d: scan %+v", committed, rep)
+		}
+		for i := 0; i < committed; i++ {
+			assertIntact(t, s2, key(i), payload(128+i, byte(i)))
+		}
+		for i := committed; i < total; i++ {
+			assertAbsent(t, s2, key(i))
+		}
+	}
+}
+
+func key(i int) string { return string(rune('a'+i)) + "-key" }
+
+// TestQuarantineFilesAreNeverRecovered: a quarantined file must stay
+// invisible across restarts even though it is still in the directory.
+func TestQuarantineFilesAreNeverRecovered(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open("db", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", payload(64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Corrupt("db/"+fileName("k"), 10); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Open("db", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 1 {
+		t.Fatalf("first rescan: %+v", rep)
+	}
+	s3, rep3, err := Open("db", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Quarantined != 0 || rep3.PriorQuarantine != 1 || rep3.Recovered != 0 {
+		t.Fatalf("second rescan: %+v", rep3)
+	}
+	assertAbsent(t, s3, "k")
+	names, _ := fs.ReadDir("db")
+	if len(names) != 1 || !strings.HasSuffix(names[0], QuarantineSuffix) {
+		t.Fatalf("quarantine file missing from dir: %v", names)
+	}
+}

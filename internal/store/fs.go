@@ -1,0 +1,87 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem the store writes through. It exists so the
+// crash-safety proof is deterministic: the unit tests drive the store over
+// an in-memory FS with explicit durability semantics (MemFS) and an
+// error-injecting wrapper (FaultFS) — fail the Nth write, tear a write
+// short, fail an fsync — and assert that every failure either preserves
+// the previous durable state or is detected and quarantined on the next
+// scan. Production uses OSFS.
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the names (not paths) of the directory's entries.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the file's full contents.
+	ReadFile(path string) ([]byte, error)
+	// Create truncates/creates the file for writing.
+	Create(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the file.
+	Remove(path string) error
+	// SyncDir flushes directory metadata (created/renamed names) so a
+	// completed rename survives a crash.
+	SyncDir(dir string) error
+}
+
+// File is a writable file handle.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to durable storage.
+	Sync() error
+	// Close releases the handle. Data not synced may be lost on crash.
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(des))
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		names = append(names, de.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	// Directory fsync is advisory on some filesystems; surface real errors
+	// but tolerate EINVAL-style refusals, which os.File.Sync reports.
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,46 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStoreDecode feeds arbitrary bytes to the entry-frame decoder: it may
+// reject them, but it must never panic, and anything it accepts must be
+// canonical — re-encoding the decoded key/payload reproduces the accepted
+// bytes exactly (so there is a one-to-one mapping between valid files and
+// entries).
+func FuzzStoreDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(entryMagic))
+	f.Add(EncodeEntry("", nil))
+	f.Add(EncodeEntry("aes-query@0.25#42", []byte("payload")))
+	f.Add(EncodeEntry("k", bytes.Repeat([]byte{0xAB}, 300)))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		key, payload, err := DecodeEntry(b)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeEntry(key, payload), b) {
+			t.Fatalf("accepted entry is not canonical (key %q, %d payload bytes)", key, len(payload))
+		}
+	})
+}
+
+// FuzzEncodeDecodeEntry drives the round trip from the structured side.
+func FuzzEncodeDecodeEntry(f *testing.F) {
+	f.Add("", []byte{})
+	f.Add("key", []byte("value"))
+	f.Fuzz(func(t *testing.T, key string, payload []byte) {
+		if len(key) > maxEntryKey {
+			t.Skip()
+		}
+		gotKey, gotPayload, err := DecodeEntry(EncodeEntry(key, payload))
+		if err != nil {
+			t.Fatalf("decode(encode): %v", err)
+		}
+		if gotKey != key || !bytes.Equal(gotPayload, payload) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

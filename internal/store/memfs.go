@@ -1,0 +1,224 @@
+package store
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models durability the way a kernel page
+// cache does: writes land in a volatile view immediately, and only
+// File.Sync (for contents) and SyncDir (for renames and removals) promote
+// state to the durable view. Crash discards everything volatile — the
+// moral equivalent of kill -9 plus power loss — so a test can interleave
+// store operations with crashes at exact points and assert what a rescan
+// recovers.
+type MemFS struct {
+	mu sync.Mutex
+	// visible is what reads observe: the live filesystem state.
+	visible map[string][]byte
+	// durable is what survives Crash.
+	durable map[string][]byte
+	// pending holds directory operations (renames, removals, creates) not
+	// yet flushed by SyncDir: target path -> source durable content key, or
+	// "" for a removal. Applied to durable in order on SyncDir.
+	pending []dirOp
+	dirs    map[string]bool
+}
+
+type dirOp struct {
+	op       string // "rename", "remove"
+	from, to string
+}
+
+// NewMemFS builds an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		visible: map[string][]byte{},
+		durable: map[string][]byte{},
+		dirs:    map[string]bool{},
+	}
+}
+
+// Crash models kill -9 + power loss: the visible state reverts to the
+// durable view, and un-flushed directory operations are lost.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.visible = map[string][]byte{}
+	for p, b := range m.durable {
+		m.visible[p] = append([]byte(nil), b...)
+	}
+	m.pending = nil
+}
+
+// Corrupt flips one byte of the file at the offset, in both the visible
+// and durable views — the disk-rot injection the recovery tests use.
+func (m *MemFS) Corrupt(p string, offset int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	b, ok := m.visible[p]
+	if !ok || offset >= len(b) {
+		return fmt.Errorf("memfs: corrupt %s@%d: no such byte", p, offset)
+	}
+	b[offset] ^= 0xFF
+	if db, ok := m.durable[p]; ok && offset < len(db) {
+		db[offset] ^= 0xFF
+	}
+	return nil
+}
+
+// Truncate cuts the file to n bytes in both views, modeling a torn write
+// that made it to disk.
+func (m *MemFS) Truncate(p string, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	b, ok := m.visible[p]
+	if !ok || n > len(b) {
+		return fmt.Errorf("memfs: truncate %s to %d: no such prefix", p, n)
+	}
+	m.visible[p] = b[:n]
+	if db, ok := m.durable[p]; ok && n <= len(db) {
+		m.durable[p] = db[:n]
+	}
+	return nil
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[path.Clean(dir)] = true
+	return nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = path.Clean(dir)
+	var names []string
+	for p := range m.visible {
+		if path.Dir(p) == dir {
+			names = append(names, path.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) ReadFile(p string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.visible[path.Clean(p)]
+	if !ok {
+		return nil, fmt.Errorf("memfs: open %s: no such file", p)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (m *MemFS) Create(p string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	m.visible[p] = nil
+	return &memFile{fs: m, path: p}, nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldpath, newpath = path.Clean(oldpath), path.Clean(newpath)
+	b, ok := m.visible[oldpath]
+	if !ok {
+		return fmt.Errorf("memfs: rename %s: no such file", oldpath)
+	}
+	m.visible[newpath] = b
+	delete(m.visible, oldpath)
+	m.pending = append(m.pending, dirOp{op: "rename", from: oldpath, to: newpath})
+	return nil
+}
+
+func (m *MemFS) Remove(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	if _, ok := m.visible[p]; !ok {
+		return fmt.Errorf("memfs: remove %s: no such file", p)
+	}
+	delete(m.visible, p)
+	m.pending = append(m.pending, dirOp{op: "remove", from: p})
+	return nil
+}
+
+// SyncDir flushes pending directory operations for dir to the durable
+// view, in order. Content bytes move with renames only if they were
+// themselves synced (a rename of an unsynced file durably names a file
+// whose durable content may be empty or stale — exactly the torn state a
+// crash exposes).
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = path.Clean(dir)
+	var rest []dirOp
+	for _, op := range m.pending {
+		affected := path.Dir(op.from)
+		if op.op == "rename" {
+			affected = path.Dir(op.to)
+		}
+		if affected != dir {
+			rest = append(rest, op)
+			continue
+		}
+		switch op.op {
+		case "rename":
+			if b, ok := m.durable[op.from]; ok {
+				m.durable[op.to] = b
+				delete(m.durable, op.from)
+			} else {
+				// Source content never synced: the durable name appears with
+				// whatever durable bytes exist (none).
+				m.durable[op.to] = nil
+			}
+		case "remove":
+			delete(m.durable, op.from)
+		}
+	}
+	m.pending = rest
+	return nil
+}
+
+// memFile is one open MemFS handle.
+type memFile struct {
+	fs     *MemFS
+	path   string
+	closed bool
+}
+
+func (f *memFile) Write(b []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("memfs: write %s: file closed", f.path)
+	}
+	f.fs.visible[f.path] = append(f.fs.visible[f.path], b...)
+	return len(b), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("memfs: sync %s: file closed", f.path)
+	}
+	f.fs.durable[f.path] = append([]byte(nil), f.fs.visible[f.path]...)
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}

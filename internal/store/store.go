@@ -1,0 +1,356 @@
+// Package store is the crash-safe persistent trace store behind
+// ironhide-serve: a directory of checksummed, length-framed entry files,
+// one per cached capture, written via temp file + fsync + atomic rename so
+// a kill -9 at any byte boundary loses at most the in-flight entry and
+// never corrupts a committed one. On open the store scans the directory,
+// CRC-verifies every entry, quarantines (renames aside, never serves)
+// anything torn or rotted, and removes leftover temp files — so a
+// restarted daemon pre-warms its cache from exactly the set of entries
+// that were durably committed.
+//
+// Entry file format (everything little-endian, varints canonical):
+//
+//	magic   "IHS1"            4 bytes
+//	keyLen  uvarint           then keyLen bytes of key
+//	payLen  uvarint           then payLen bytes of payload
+//	crc     CRC-32C           4 bytes over every preceding byte
+//
+// The filename is a hash of the key (keys are free-form strings, not
+// filesystem-safe); the authoritative key travels inside the checksummed
+// frame, so a renamed or cross-linked file cannot impersonate another
+// entry. Integrity is re-verified on every Get, not just at scan time:
+// a corrupt entry is quarantined at the moment it is detected and an
+// error returned — corrupt bytes never reach the trace decoder.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	entryMagic  = "IHS1"
+	entrySuffix = ".trace"
+	tempInfix   = ".tmp"
+	// QuarantineSuffix marks files set aside by scan or Get: still on disk
+	// for post-mortem, never listed, never served.
+	QuarantineSuffix = ".quarantine"
+)
+
+// maxEntryKey bounds the key length a frame may claim.
+const maxEntryKey = 1 << 12
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeEntry frames a key/payload pair for disk.
+func EncodeEntry(key string, payload []byte) []byte {
+	b := make([]byte, 0, len(entryMagic)+len(key)+len(payload)+24)
+	b = append(b, entryMagic...)
+	b = binary.AppendUvarint(b, uint64(len(key)))
+	b = append(b, key...)
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	b = append(b, payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+// DecodeEntry parses and integrity-checks one entry file. It is total:
+// arbitrary bytes either yield the framed key and payload or an error —
+// truncation at any offset, bit rot anywhere, or trailing junk all fail
+// the checksum or the frame checks. The fuzz target holds it panic-free.
+func DecodeEntry(b []byte) (key string, payload []byte, err error) {
+	if len(b) < len(entryMagic)+4+2 {
+		return "", nil, fmt.Errorf("store: entry too short (%d bytes)", len(b))
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return "", nil, fmt.Errorf("store: checksum mismatch")
+	}
+	if string(body[:len(entryMagic)]) != entryMagic {
+		return "", nil, fmt.Errorf("store: bad magic")
+	}
+	off := len(entryMagic)
+	keyLen, w := binary.Uvarint(body[off:])
+	if w <= 0 || keyLen > maxEntryKey || (w > 1 && body[off+w-1] == 0) {
+		return "", nil, fmt.Errorf("store: bad key length")
+	}
+	off += w
+	if uint64(len(body)-off) < keyLen {
+		return "", nil, fmt.Errorf("store: key overruns entry")
+	}
+	key = string(body[off : off+int(keyLen)])
+	off += int(keyLen)
+	payLen, w := binary.Uvarint(body[off:])
+	if w <= 0 || (w > 1 && body[off+w-1] == 0) {
+		return "", nil, fmt.Errorf("store: bad payload length")
+	}
+	off += w
+	if uint64(len(body)-off) != payLen {
+		return "", nil, fmt.Errorf("store: payload length %d does not match remaining %d", payLen, len(body)-off)
+	}
+	payload = append([]byte(nil), body[off:]...)
+	return key, payload, nil
+}
+
+// fileName derives the entry filename for a key.
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:12]) + entrySuffix
+}
+
+// FileName reports the name under which key's entry lives in the store
+// directory. Exported for operational tooling — the chaos harness uses it
+// to corrupt a specific entry on disk and prove it is quarantined, not
+// served.
+func FileName(key string) string { return fileName(key) }
+
+// ScanReport summarizes one recovery scan.
+type ScanReport struct {
+	// Recovered counts intact entries now served.
+	Recovered int
+	// Quarantined counts entries set aside by THIS scan (torn, rotted, or
+	// misnamed files renamed to *.quarantine).
+	Quarantined int
+	// PriorQuarantine counts *.quarantine files from earlier scans.
+	PriorQuarantine int
+	// TempRemoved counts abandoned in-flight temp files deleted.
+	TempRemoved int
+	// QuarantinedFiles names what this scan set aside.
+	QuarantinedFiles []string
+}
+
+// Stats is a point-in-time snapshot of the store counters.
+type Stats struct {
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	Puts        int64 `json:"puts"`
+	Gets        int64 `json:"gets"`
+	GetMisses   int64 `json:"get_misses"`
+	Quarantined int64 `json:"quarantined"`
+}
+
+// Store is a crash-safe key → payload store over one directory. It is
+// safe for concurrent use.
+type Store struct {
+	dir string
+	fs  FS
+
+	mu      sync.Mutex
+	entries map[string]entryMeta // key → committed file
+	tmpSeq  int
+
+	puts, gets, getMisses, quarantined int64
+}
+
+type entryMeta struct {
+	name string
+	size int64
+}
+
+// Open scans dir (created if missing), recovering committed entries and
+// quarantining anything that fails integrity checks. A nil fs means the
+// real filesystem.
+func Open(dir string, fs FS) (*Store, ScanReport, error) {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	s := &Store{dir: dir, fs: fs, entries: map[string]entryMeta{}}
+	var rep ScanReport
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, rep, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, rep, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	for _, name := range names {
+		p := path.Join(dir, name)
+		switch {
+		case strings.HasSuffix(name, QuarantineSuffix):
+			rep.PriorQuarantine++
+		case strings.Contains(name, tempInfix):
+			// An in-flight write that never committed; the crash lost it.
+			if err := fs.Remove(p); err == nil {
+				rep.TempRemoved++
+			}
+		case strings.HasSuffix(name, entrySuffix):
+			b, err := fs.ReadFile(p)
+			if err != nil {
+				s.quarantineLocked(name, &rep)
+				continue
+			}
+			key, _, err := DecodeEntry(b)
+			if err != nil || fileName(key) != name {
+				// Torn, rotted, or renamed to impersonate another key.
+				s.quarantineLocked(name, &rep)
+				continue
+			}
+			s.entries[key] = entryMeta{name: name, size: int64(len(b))}
+			rep.Recovered++
+		}
+	}
+	return s, rep, nil
+}
+
+// quarantineLocked renames a suspect file aside. Callers hold no lock
+// during Open; Get callers hold s.mu.
+func (s *Store) quarantineLocked(name string, rep *ScanReport) {
+	p := path.Join(s.dir, name)
+	if err := s.fs.Rename(p, p+QuarantineSuffix); err != nil {
+		// Removal is the fallback; if even that fails the file stays and the
+		// next scan retries — it is never recorded as servable either way.
+		_ = s.fs.Remove(p)
+	}
+	_ = s.fs.SyncDir(s.dir)
+	s.quarantined++
+	if rep != nil {
+		rep.Quarantined++
+		rep.QuarantinedFiles = append(rep.QuarantinedFiles, name)
+	}
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of committed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Keys returns the committed keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Entries:     len(s.entries),
+		Puts:        s.puts,
+		Gets:        s.gets,
+		GetMisses:   s.getMisses,
+		Quarantined: s.quarantined,
+	}
+	for _, m := range s.entries {
+		st.Bytes += m.size
+	}
+	return st
+}
+
+// Put durably commits key → payload: temp file, write, fsync, close,
+// atomic rename over the committed name, directory fsync. On any error the
+// previously committed value for the key (if any) is untouched — the
+// rename is the commit point and it either happens completely or not at
+// all. The temp file is best-effort removed on failure; a leftover is
+// swept by the next scan.
+func (s *Store) Put(key string, payload []byte) error {
+	frame := EncodeEntry(key, payload)
+	name := fileName(key)
+
+	s.mu.Lock()
+	s.puts++
+	s.tmpSeq++
+	tmp := fmt.Sprintf("%s%s%d", name, tempInfix, s.tmpSeq)
+	s.mu.Unlock()
+
+	tmpPath := path.Join(s.dir, tmp)
+	commit := func() error {
+		f, err := s.fs.Create(tmpPath)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(frame); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := s.fs.Rename(tmpPath, path.Join(s.dir, name)); err != nil {
+			return err
+		}
+		return s.fs.SyncDir(s.dir)
+	}
+	if err := commit(); err != nil {
+		_ = s.fs.Remove(tmpPath)
+		return fmt.Errorf("store: put %q: %w", key, err)
+	}
+	s.mu.Lock()
+	s.entries[key] = entryMeta{name: name, size: int64(len(frame))}
+	s.mu.Unlock()
+	return nil
+}
+
+// Get returns the committed payload for key. Integrity is verified on
+// every read; a file that fails (rot since the scan, tampering) is
+// quarantined immediately and reported as an error — corrupt bytes are
+// never returned. The boolean reports whether the key was present.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	meta, ok := s.entries[key]
+	s.gets++
+	if !ok {
+		s.getMisses++
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	s.mu.Unlock()
+
+	b, err := s.fs.ReadFile(path.Join(s.dir, meta.name))
+	if err == nil {
+		var gotKey string
+		var payload []byte
+		if gotKey, payload, err = DecodeEntry(b); err == nil && gotKey == key {
+			return payload, true, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("store: entry %s carries key %q, want %q", meta.name, gotKey, key)
+		}
+	}
+	// Detected corruption (or an unreadable file): quarantine and unlist.
+	s.mu.Lock()
+	if cur, still := s.entries[key]; still && cur.name == meta.name {
+		delete(s.entries, key)
+		s.quarantineLocked(meta.name, nil)
+	}
+	s.mu.Unlock()
+	return nil, false, fmt.Errorf("store: get %q: %w", key, err)
+}
+
+// Delete removes a committed entry (no error if absent).
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	meta, ok := s.entries[key]
+	if ok {
+		delete(s.entries, key)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if err := s.fs.Remove(path.Join(s.dir, meta.name)); err != nil {
+		return fmt.Errorf("store: delete %q: %w", key, err)
+	}
+	return s.fs.SyncDir(s.dir)
+}

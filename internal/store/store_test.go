@@ -1,0 +1,328 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func payload(n int, tag byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i) ^ tag
+	}
+	return b
+}
+
+// TestPutGetRoundTripOS exercises the real filesystem end to end.
+func TestPutGetRoundTripOS(t *testing.T) {
+	dir := t.TempDir()
+	s, rep, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 0 || rep.Quarantined != 0 {
+		t.Fatalf("fresh dir scan: %+v", rep)
+	}
+	keys := []string{"aes-query@0.25#42", "sssp-graph@1#0", "weird key/with:chars\n"}
+	for i, k := range keys {
+		if err := s.Put(k, payload(1000+i, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		got, ok, err := s.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%q): ok=%v err=%v", k, ok, err)
+		}
+		if !bytes.Equal(got, payload(1000+i, byte(i))) {
+			t.Fatalf("Get(%q): wrong payload", k)
+		}
+	}
+	if _, ok, err := s.Get("absent"); ok || err != nil {
+		t.Fatalf("Get(absent): ok=%v err=%v", ok, err)
+	}
+
+	// Reopen: everything committed comes back.
+	s2, rep2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Recovered != len(keys) || rep2.Quarantined != 0 {
+		t.Fatalf("reopen scan: %+v", rep2)
+	}
+	for i, k := range keys {
+		got, ok, err := s2.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, payload(1000+i, byte(i))) {
+			t.Fatalf("reopened Get(%q): ok=%v err=%v", k, ok, err)
+		}
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	s, _, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("k")
+	if err != nil || !ok || string(got) != "v2" {
+		t.Fatalf("overwrite: got %q ok=%v err=%v", got, ok, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len=%d after overwrite", s.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("deleted key still present")
+	}
+	s2, rep, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 0 || s2.Len() != 0 {
+		t.Fatalf("delete did not persist: %+v", rep)
+	}
+}
+
+// TestScanQuarantinesTruncationAtEveryOffset is the torn-write proof: a
+// committed entry cut at every possible byte offset must be detected and
+// quarantined by the scan — never recovered as a servable entry — while an
+// intact sibling entry survives every time.
+func TestScanQuarantinesTruncationAtEveryOffset(t *testing.T) {
+	// Build one reference entry to learn its file name and size.
+	refDir := t.TempDir()
+	ref, _, err := Open(refDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Put("victim", payload(257, 7)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(refDir, fileName("victim")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut < len(full); cut++ {
+		fs := NewMemFS()
+		s, _, err := Open("db", fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put("survivor", payload(64, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put("victim", payload(257, 7)); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Truncate("db/"+fileName("victim"), cut); err != nil {
+			t.Fatal(err)
+		}
+		fs.Crash()
+
+		s2, rep, err := Open("db", fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Recovered != 1 || rep.Quarantined != 1 {
+			t.Fatalf("cut=%d: scan %+v, want 1 recovered 1 quarantined", cut, rep)
+		}
+		if _, ok, _ := s2.Get("victim"); ok {
+			t.Fatalf("cut=%d: truncated entry served", cut)
+		}
+		if got, ok, err := s2.Get("survivor"); err != nil || !ok || !bytes.Equal(got, payload(64, 1)) {
+			t.Fatalf("cut=%d: survivor lost: ok=%v err=%v", cut, ok, err)
+		}
+	}
+}
+
+// TestScanQuarantinesBitRotAtEveryOffset flips each byte of a committed
+// entry: the CRC must catch every single-byte rot and the scan quarantine
+// the file.
+func TestScanQuarantinesBitRotAtEveryOffset(t *testing.T) {
+	probe := NewMemFS()
+	ps, _, err := Open("db", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Put("victim", payload(257, 7)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := probe.ReadFile("db/" + fileName("victim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for off := 0; off < len(full); off++ {
+		fs := NewMemFS()
+		s, _, err := Open("db", fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put("victim", payload(257, 7)); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Corrupt("db/"+fileName("victim"), off); err != nil {
+			t.Fatal(err)
+		}
+		s2, rep, err := Open("db", fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Recovered != 0 || rep.Quarantined != 1 {
+			t.Fatalf("off=%d: scan %+v, want 0 recovered 1 quarantined", off, rep)
+		}
+		if _, ok, _ := s2.Get("victim"); ok {
+			t.Fatalf("off=%d: rotted entry served", off)
+		}
+	}
+}
+
+// TestGetDetectsRotAfterScan proves integrity is enforced at read time,
+// not only at scan time: rot that lands after Open is caught by Get,
+// quarantined, and never returned.
+func TestGetDetectsRotAfterScan(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open("db", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", payload(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Corrupt("db/"+fileName("k"), 50); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("k")
+	if ok || err == nil || got != nil {
+		t.Fatalf("rotted Get: got=%v ok=%v err=%v", got, ok, err)
+	}
+	// The entry is now quarantined: a second Get is a clean miss.
+	if _, ok, err := s.Get("k"); ok || err != nil {
+		t.Fatalf("second Get after quarantine: ok=%v err=%v", ok, err)
+	}
+	names, _ := fs.ReadDir("db")
+	var quarantined bool
+	for _, n := range names {
+		if strings.HasSuffix(n, QuarantineSuffix) {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatalf("no quarantine file after rot detection: %v", names)
+	}
+}
+
+// TestRenamedFileCannotImpersonate: copying entry A's bytes over entry B's
+// filename must not serve A's payload under B's key.
+func TestRenamedFileCannotImpersonate(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open("db", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", []byte("payload-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("payload-b")); err != nil {
+		t.Fatal(err)
+	}
+	ab, err := fs.ReadFile("db/" + fileName("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("db/" + fileName("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(ab); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Sync()
+	_ = f.Close()
+
+	s2, rep, err := Open("db", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 1 || rep.Quarantined != 1 {
+		t.Fatalf("scan %+v, want the impersonator quarantined", rep)
+	}
+	if got, ok, _ := s2.Get("b"); ok {
+		t.Fatalf("impersonated entry served: %q", got)
+	}
+	if _, ok, err := s2.Get("a"); !ok || err != nil {
+		t.Fatalf("genuine entry lost: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestConcurrentPuts hammers the store from many goroutines (run under
+// -race in CI).
+func TestConcurrentPuts(t *testing.T) {
+	s, _, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				k := fmt.Sprintf("key-%d", i)
+				if err := s.Put(k, payload(64, byte(w))); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if _, ok, err := s.Get(k); !ok || err != nil {
+					t.Errorf("Get(%s): ok=%v err=%v", k, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 16 {
+		t.Fatalf("Len=%d, want 16", s.Len())
+	}
+}
+
+func TestStatsAndKeys(t *testing.T) {
+	s, _, err := Open("db", NewMemFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Put("b", []byte("2"))
+	_ = s.Put("a", []byte("1"))
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys=%v", keys)
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.Puts != 2 || st.Bytes <= 0 {
+		t.Fatalf("Stats=%+v", st)
+	}
+}

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ironhide/internal/workload"
+)
+
+// Binary codec for whole Traces — the serialization the persistent trace
+// store writes to disk so a restarted daemon comes up warm. The format is
+// a versioned varint stream mirroring the in-memory structure: scalar
+// metadata, then each process's allocation schedule and length-framed
+// per-round operation streams (the rounds keep their wire encoding — the
+// varint op IR *is* the serialized form, so Marshal never re-encodes an
+// operation).
+//
+// Unmarshal is total: any byte slice either decodes into a structurally
+// valid Trace — every operation stream revalidated through the same
+// decoder the fuzz targets hold panic-free — or returns an error. Framing
+// integrity (checksums, torn-write detection) is the store's job; this
+// codec owns structural validity.
+
+// codecMagic identifies a serialized Trace; codecVersion gates decoding.
+const (
+	codecMagic   = "IHTR"
+	codecVersion = 1
+)
+
+// maxCodecSlice bounds every count Unmarshal reads before allocating, so
+// a corrupt length prefix cannot ask for gigabytes.
+const maxCodecSlice = 1 << 24
+
+// Marshal encodes the trace for storage.
+func Marshal(t *Trace) []byte {
+	// Pre-size: streams dominate, metadata is tens of bytes.
+	b := make([]byte, 0, t.Bytes()+len(t.App)+256)
+	b = append(b, codecMagic...)
+	b = binary.AppendUvarint(b, codecVersion)
+	b = appendString(b, t.App)
+	b = binary.AppendUvarint(b, uint64(t.Class))
+	b = binary.AppendUvarint(b, math.Float64bits(t.Scale))
+	b = binary.AppendUvarint(b, uint64(t.Rounds))
+	b = binary.AppendUvarint(b, uint64(t.Warmup))
+	b = binary.AppendUvarint(b, uint64(t.ProfileRounds))
+	b = binary.AppendUvarint(b, uint64(t.PayloadBytes))
+	b = binary.AppendUvarint(b, uint64(t.ReplyBytes))
+	b = appendProc(b, &t.Ins)
+	b = appendProc(b, &t.Sec)
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendProc(b []byte, p *Proc) []byte {
+	b = appendString(b, p.Name)
+	b = binary.AppendUvarint(b, uint64(p.Threads))
+	b = binary.AppendUvarint(b, uint64(len(p.Allocs)))
+	for _, a := range p.Allocs {
+		b = appendString(b, a.Name)
+		b = binary.AppendUvarint(b, uint64(a.Size))
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.Rounds)))
+	for _, r := range p.Rounds {
+		b = binary.AppendUvarint(b, uint64(len(r)))
+		b = append(b, r...)
+	}
+	return b
+}
+
+// decoder is a bounds-checked cursor over the serialized form.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) fail(format string, args ...any) error {
+	return fmt.Errorf("trace: unmarshal at offset %d: %s", d.off, fmt.Sprintf(format, args...))
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	u, w := binary.Uvarint(d.b[d.off:])
+	if w <= 0 {
+		return 0, d.fail("bad uvarint")
+	}
+	// Reject non-minimal encodings (trailing zero continuation byte): the
+	// format is canonical, so every valid input re-marshals byte-identical.
+	if w > 1 && d.b[d.off+w-1] == 0 {
+		return 0, d.fail("non-minimal uvarint")
+	}
+	d.off += w
+	return u, nil
+}
+
+// count reads a slice length and rejects absurd values up front.
+func (d *decoder) count(what string) (int, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if u > maxCodecSlice {
+		return 0, d.fail("%s count %d exceeds limit %d", what, u, maxCodecSlice)
+	}
+	// A count can never exceed the remaining bytes (every element takes at
+	// least one byte), so a huge-but-under-limit count in a tiny input
+	// still fails before allocating.
+	if int(u) > len(d.b)-d.off {
+		return 0, d.fail("%s count %d exceeds remaining input %d", what, u, len(d.b)-d.off)
+	}
+	return int(u), nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || n > len(d.b)-d.off {
+		return nil, d.fail("need %d bytes, have %d", n, len(d.b)-d.off)
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s, nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.count("string")
+	if err != nil {
+		return "", err
+	}
+	s, err := d.bytes(n)
+	if err != nil {
+		return "", err
+	}
+	return string(s), nil
+}
+
+func (d *decoder) proc(p *Proc) error {
+	var err error
+	if p.Name, err = d.string(); err != nil {
+		return err
+	}
+	threads, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if threads > 1<<16 {
+		return d.fail("thread count %d exceeds limit", threads)
+	}
+	p.Threads = int(threads)
+	nAllocs, err := d.count("alloc")
+	if err != nil {
+		return err
+	}
+	if nAllocs > 0 {
+		p.Allocs = make([]Alloc, nAllocs)
+	}
+	for i := range p.Allocs {
+		if p.Allocs[i].Name, err = d.string(); err != nil {
+			return err
+		}
+		size, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if size > math.MaxInt32 {
+			return d.fail("alloc size %d exceeds limit", size)
+		}
+		p.Allocs[i].Size = int(size)
+	}
+	nRounds, err := d.count("round")
+	if err != nil {
+		return err
+	}
+	if nRounds > 0 {
+		p.Rounds = make([][]byte, nRounds)
+	}
+	for i := range p.Rounds {
+		n, err := d.count("stream")
+		if err != nil {
+			return err
+		}
+		stream, err := d.bytes(n)
+		if err != nil {
+			return err
+		}
+		// Copy out of the input buffer: the Trace outlives the caller's b.
+		p.Rounds[i] = append([]byte(nil), stream...)
+		if err := ValidateStream(p.Rounds[i]); err != nil {
+			return fmt.Errorf("trace: unmarshal %s round %d: %w", p.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Unmarshal decodes a Marshal-produced byte slice into a fresh Trace. It
+// never panics on arbitrary input, and every operation stream in a
+// successfully decoded Trace is well-formed (replay-safe): corruption the
+// store's checksum somehow missed still cannot reach the replayer.
+func Unmarshal(b []byte) (*Trace, error) {
+	d := &decoder{b: b}
+	magic, err := d.bytes(len(codecMagic))
+	if err != nil || string(magic) != codecMagic {
+		return nil, fmt.Errorf("trace: unmarshal: bad magic")
+	}
+	version, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("trace: unmarshal: unsupported version %d", version)
+	}
+	t := &Trace{}
+	if t.App, err = d.string(); err != nil {
+		return nil, err
+	}
+	class, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if class > uint64(workload.OSLevel) {
+		return nil, d.fail("unknown workload class %d", class)
+	}
+	t.Class = workload.Class(class)
+	scaleBits, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	t.Scale = math.Float64frombits(scaleBits)
+	if math.IsNaN(t.Scale) || math.IsInf(t.Scale, 0) || t.Scale < 0 {
+		return nil, d.fail("invalid scale %v", t.Scale)
+	}
+	for _, field := range []*int{&t.Rounds, &t.Warmup, &t.ProfileRounds, &t.PayloadBytes, &t.ReplyBytes} {
+		u, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if u > math.MaxInt32 {
+			return nil, d.fail("metadata field %d exceeds limit", u)
+		}
+		*field = int(u)
+	}
+	if err := d.proc(&t.Ins); err != nil {
+		return nil, err
+	}
+	if err := d.proc(&t.Sec); err != nil {
+		return nil, err
+	}
+	if d.off != len(b) {
+		return nil, d.fail("%d trailing bytes", len(b)-d.off)
+	}
+	return t, nil
+}

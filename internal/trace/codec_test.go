@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// marshalTestTrace builds a small but fully populated capture.
+func marshalTestTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := capture(t, 4, 3)
+	tr.Sec = Proc{
+		Name:    "SEC",
+		Threads: 2,
+		Allocs:  []Alloc{{Name: "table", Size: 4096}, {Name: "state", Size: 64}},
+		Rounds:  append([][]byte(nil), tr.Ins.Rounds...),
+	}
+	tr.PayloadBytes = 192
+	tr.ReplyBytes = 48
+	return tr
+}
+
+func assertTraceEqual(t *testing.T, got, want *Trace) {
+	t.Helper()
+	if got.App != want.App || got.Class != want.Class || got.Scale != want.Scale ||
+		got.Rounds != want.Rounds || got.Warmup != want.Warmup ||
+		got.ProfileRounds != want.ProfileRounds ||
+		got.PayloadBytes != want.PayloadBytes || got.ReplyBytes != want.ReplyBytes {
+		t.Fatalf("metadata mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	for i, pair := range [][2]*Proc{{&got.Ins, &want.Ins}, {&got.Sec, &want.Sec}} {
+		g, w := pair[0], pair[1]
+		if g.Name != w.Name || g.Threads != w.Threads {
+			t.Fatalf("proc %d identity mismatch: got %s/%d want %s/%d", i, g.Name, g.Threads, w.Name, w.Threads)
+		}
+		if len(g.Allocs) != len(w.Allocs) {
+			t.Fatalf("proc %d: %d allocs, want %d", i, len(g.Allocs), len(w.Allocs))
+		}
+		for j := range g.Allocs {
+			if g.Allocs[j] != w.Allocs[j] {
+				t.Fatalf("proc %d alloc %d: got %+v want %+v", i, j, g.Allocs[j], w.Allocs[j])
+			}
+		}
+		if len(g.Rounds) != len(w.Rounds) {
+			t.Fatalf("proc %d: %d rounds, want %d", i, len(g.Rounds), len(w.Rounds))
+		}
+		for j := range g.Rounds {
+			if !bytes.Equal(g.Rounds[j], w.Rounds[j]) {
+				t.Fatalf("proc %d round %d streams differ", i, j)
+			}
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	want := marshalTestTrace(t)
+	b := Marshal(want)
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	assertTraceEqual(t, got, want)
+	// Canonical: re-marshaling the decoded trace reproduces the bytes.
+	if !bytes.Equal(Marshal(got), b) {
+		t.Fatal("re-marshal is not byte-identical")
+	}
+}
+
+func TestMarshalRoundTripEmptyProcs(t *testing.T) {
+	want := &Trace{App: "empty", Scale: 1, Ins: Proc{Name: "I"}, Sec: Proc{Name: "S"}}
+	got, err := Unmarshal(Marshal(want))
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	assertTraceEqual(t, got, want)
+}
+
+// TestUnmarshalTruncation cuts a valid encoding at every byte offset: each
+// prefix must fail cleanly (no panic, no success — the full input is only
+// valid whole).
+func TestUnmarshalTruncation(t *testing.T) {
+	b := Marshal(marshalTestTrace(t))
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded successfully", cut, len(b))
+		}
+	}
+}
+
+// TestUnmarshalBitFlips flips each byte of a valid encoding. Single-byte
+// corruption may still decode (the store's checksum is the integrity
+// layer), but the decoder must never panic, and a successful decode must
+// still be structurally valid (re-marshalable and stream-valid).
+func TestUnmarshalBitFlips(t *testing.T) {
+	b := Marshal(marshalTestTrace(t))
+	for i := range b {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0xFF
+		tr, err := Unmarshal(mut)
+		if err != nil {
+			continue
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("flip at %d: decoded trace has invalid stream: %v", i, err)
+		}
+	}
+}
+
+func TestUnmarshalRejects(t *testing.T) {
+	valid := Marshal(marshalTestTrace(t))
+	cases := map[string][]byte{
+		"empty":         nil,
+		"bad magic":     append([]byte("XXXX"), valid[4:]...),
+		"bad version":   append([]byte(codecMagic), 99),
+		"trailing junk": append(append([]byte(nil), valid...), 0xAB),
+	}
+	for name, in := range cases {
+		if _, err := Unmarshal(in); err == nil {
+			t.Errorf("%s: decoded successfully, want error", name)
+		}
+	}
+}

@@ -167,6 +167,34 @@ func FuzzDecodeArbitrary(f *testing.F) {
 
 func addrOf(v int64) arch.Addr { return arch.Addr(v) }
 
+// FuzzTraceUnmarshal feeds arbitrary bytes to the whole-trace codec: it
+// may reject them, but it must never panic, and anything it accepts must
+// be canonical — re-marshaling reproduces the accepted bytes exactly.
+func FuzzTraceUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(codecMagic))
+	f.Add(append([]byte(codecMagic), 1))
+	f.Add(Marshal(&Trace{App: "seed", Scale: 1, Ins: Proc{Name: "I"}, Sec: Proc{Name: "S"}}))
+	f.Add(Marshal(&Trace{
+		App: "seed2", Scale: 0.5, Rounds: 2, Warmup: 1,
+		Ins: Proc{Name: "I", Threads: 4, Allocs: []Alloc{{Name: "a", Size: 64}},
+			Rounds: [][]byte{{opBarrier, opSeq}, {opParFor, opChunk}}},
+		Sec: Proc{Name: "S", Threads: 2, Rounds: [][]byte{nil, nil}},
+	}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tr, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace has invalid stream: %v", err)
+		}
+		if !bytes.Equal(Marshal(tr), b) {
+			t.Fatal("accepted input is not canonical")
+		}
+	})
+}
+
 // TestValidateTraceCatchesCorruption pins the Validate entry points on a
 // real capture: a recorded trace validates cleanly, and a mangled round
 // is reported with its process and round.
