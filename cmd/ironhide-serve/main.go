@@ -10,8 +10,11 @@
 //	               [-grid-workers n] [-timeout d] [-store dir]
 //	               [-admit n] [-admit-queue n] [-retry-after d]
 //	               [-capture-grace d]
+//	ironhide-serve -fleet-peers url1,url2,... -fleet-self url1
+//	               [-fleet-seed n] [-fleet-vnodes n] [-fleet-replicas n]
 //	ironhide-serve -selftest [selftest flags]
 //	ironhide-serve -chaos-selftest [chaos flags]
+//	ironhide-serve -fleet-selftest [-fleet-shards n]
 //
 // Serving mode listens on -addr until SIGINT/SIGTERM, then flips
 // /v1/readyz to 503, drains in-flight requests and exits. With -store,
@@ -28,12 +31,26 @@
 // batch driver, and overload is shed cleanly (no 5xx other than 503, no
 // 503 without Retry-After, no goroutine leaks).
 //
+// With -fleet-peers, the instance joins a coordinator-free sharded
+// fleet: every shard is handed the same membership and ring seed, agrees
+// on trace-key ownership via a seeded consistent-hash ring, and resolves
+// local misses by fetching traces from the key's other replicas (GET
+// /v1/trace/{key}, CRC-verified on receipt) before falling back to a
+// live capture.
+//
 // -chaos-selftest builds the full crash story: it re-executes this
 // binary as a real daemon with a temp -store, loads it, SIGKILLs it
 // mid-capture, corrupts one committed entry on disk, restarts the
 // daemon, and verifies warm recovery — stored traces replay without
 // re-capture, the corrupted entry is quarantined and transparently
 // re-captured, and every response stays byte-identical across the crash.
+//
+// -fleet-selftest is the chaos story at fleet scale: it spawns
+// -fleet-shards real daemons as a sharded fleet, routes mixed load
+// through the consistent-hash router, SIGKILLs one shard mid-capture and
+// proves failover (zero errors, bounded p99, byte-identical to a
+// single-node oracle), then wipes and restarts the dead shard and proves
+// it re-warms from its peers instead of re-executing payloads.
 package main
 
 import (
@@ -45,6 +62,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -80,6 +98,15 @@ func main() {
 
 	chaos := flag.Bool("chaos-selftest", false, "run the crash-recovery self-test (re-executes this binary as a daemon, SIGKILLs it, restarts it) and exit")
 	chaosKeys := flag.Int("chaos-keys", 3, "committed traces before the kill, and in-flight captures at the kill")
+
+	fleetPeers := flag.String("fleet-peers", "", "comma-separated base URLs of every fleet shard, this one included (empty = not sharded)")
+	fleetSelf := flag.String("fleet-self", "", "this shard's base URL exactly as listed in -fleet-peers")
+	fleetSeed := flag.Int64("fleet-seed", 0, "consistent-hash ring placement seed (all shards and clients must agree)")
+	fleetVNodes := flag.Int("fleet-vnodes", 0, "virtual nodes per shard on the ring (0 = default)")
+	fleetReplicas := flag.Int("fleet-replicas", 0, "replica-set size per trace key: owner + backups (0 = default)")
+
+	fleetSelftest := flag.Bool("fleet-selftest", false, "run the fleet chaos self-test (spawns a real sharded fleet, SIGKILLs a shard mid-capture, proves failover and peer-fetch re-warm) and exit")
+	fleetShards := flag.Int("fleet-shards", 3, "shards the fleet self-test spawns")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -109,6 +136,33 @@ func main() {
 			Keys:     *chaosKeys,
 			Dilation: *dilation,
 		}))
+	}
+	if *fleetSelftest {
+		os.Exit(runFleetSelftest(fleetSelftestConfig{
+			App:      *stApp,
+			Scale:    *stScale,
+			Shards:   *fleetShards,
+			Conc:     *stConc,
+			Dilation: *dilation,
+		}))
+	}
+
+	if *fleetPeers != "" {
+		if *fleetSelf == "" {
+			fmt.Fprintln(os.Stderr, "ironhide-serve: -fleet-peers requires -fleet-self")
+			os.Exit(1)
+		}
+		members := strings.Split(*fleetPeers, ",")
+		for i := range members {
+			members[i] = strings.TrimSpace(members[i])
+		}
+		cfg.Fleet = &service.FleetConfig{
+			Self:     *fleetSelf,
+			Members:  members,
+			Seed:     *fleetSeed,
+			VNodes:   *fleetVNodes,
+			Replicas: *fleetReplicas,
+		}
 	}
 
 	if *storeDir != "" {

@@ -1,0 +1,177 @@
+// Package fleet holds the coordinator-free building blocks of a sharded
+// ironhide-serve cluster: a deterministic consistent-hash ring that maps
+// trace keys onto shard replica sets, and a per-shard circuit breaker.
+// Every participant — each daemon and every routing client — builds the
+// same ring from the same (membership, seed, vnodes) triple and therefore
+// agrees on ownership without any coordination traffic: there is no
+// leader, no gossip, and no shared state beyond the static configuration.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+const (
+	// DefaultVNodes is the virtual-node count per member. 64 points per
+	// member keeps the ownership spread within a few percent of uniform
+	// for small fleets while the ring stays tiny (N·64 points).
+	DefaultVNodes = 64
+	// DefaultReplicas is the default replica-set size (owner + 1 backup).
+	DefaultReplicas = 2
+)
+
+// Ring is a consistent-hash ring over a fixed membership. It is immutable
+// after construction and safe for concurrent use. Placement is seeded:
+// two rings built from the same member set (in any order), seed and
+// vnodes produce identical ownership for every key, on every process.
+type Ring struct {
+	seed    int64
+	vnodes  int
+	members []string // sorted, deduplicated
+	points  []point  // sorted by (hash, member) for a total order
+}
+
+// point is one virtual node: a position on the ring owned by a member.
+type point struct {
+	hash   uint64
+	member int32 // index into members
+}
+
+// NewRing builds a ring over members. Members are deduplicated and
+// sorted, so callers on different processes need not agree on order —
+// only on the set. An empty member set yields a nil ring (every method
+// on a nil ring degenerates safely). vnodes <= 0 means DefaultVNodes.
+func NewRing(members []string, seed int64, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	if len(uniq) == 0 {
+		return nil
+	}
+	sort.Strings(uniq)
+	r := &Ring{seed: seed, vnodes: vnodes, members: uniq}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	for mi, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: pointHash(seed, m, v), member: int32(mi)})
+		}
+	}
+	// Tie-break hash collisions by member index so placement stays a
+	// total order regardless of insertion sequence.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].member < r.points[b].member
+	})
+	return r
+}
+
+// pointHash positions one virtual node. Domain-separated from keyHash so
+// a key can never collide with a member/vnode label by construction.
+func pointHash(seed int64, member string, vnode int) uint64 {
+	var buf [8]byte
+	h := sha256.New()
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte{0x00})
+	h.Write([]byte(member))
+	h.Write([]byte{0x00})
+	binary.LittleEndian.PutUint64(buf[:], uint64(vnode))
+	h.Write(buf[:])
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash positions a key on the ring.
+func keyHash(seed int64, key string) uint64 {
+	var buf [8]byte
+	h := sha256.New()
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte{0x01})
+	h.Write([]byte(key))
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Members returns the sorted membership. The slice is shared; do not
+// mutate it.
+func (r *Ring) Members() []string {
+	if r == nil {
+		return nil
+	}
+	return r.members
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.members)
+}
+
+// Seed returns the placement seed.
+func (r *Ring) Seed() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.seed
+}
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int {
+	if r == nil {
+		return 0
+	}
+	return r.vnodes
+}
+
+// Owner returns the member owning key ("" on a nil ring).
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns the key's replica set: the owner followed by the next
+// n-1 distinct members clockwise from the key's position. The result
+// never contains duplicates and never exceeds the membership size. A
+// single-member ring returns that member for every key, so a fleet of
+// one degenerates to exactly today's single-node behavior.
+func (r *Ring) Owners(key string, n int) []string {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := keyHash(r.seed, key)
+	// First point clockwise at or after the key's position (wrapping).
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	taken := make(map[int32]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if taken[p.member] {
+			continue
+		}
+		taken[p.member] = true
+		owners = append(owners, r.members[p.member])
+	}
+	return owners
+}

@@ -127,6 +127,11 @@ func (s Spec) pool() []string {
 	return []string{"aes-query", "tc-graph", "sssp-graph"}
 }
 
+// Pool returns the effective application pool: Apps when set, otherwise
+// the default mix. The fleet router uses it to derive a routing key for
+// scenario requests.
+func (s Spec) Pool() []string { return s.pool() }
+
 func (s Spec) model() string {
 	if s.Model == "" {
 		return "IRONHIDE"

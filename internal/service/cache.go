@@ -201,6 +201,29 @@ func (c *TraceCache) runCapture(ctx context.Context, e *entry, capture func(func
 	return capture(interrupt)
 }
 
+// Peek returns the settled trace for key without capturing anything: an
+// in-flight or failed entry and an absent key both report a miss. The
+// peer trace endpoint uses it to serve fleet fetches from warm memory
+// without ever triggering work on behalf of a remote shard.
+func (c *TraceCache) Peek(key TraceKey) (*trace.Trace, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	select {
+	case <-e.done:
+		if e.err == nil && e.tr != nil {
+			c.lru.MoveToFront(el)
+			return e.tr, true
+		}
+	default:
+	}
+	return nil, false
+}
+
 // Seed inserts an already-settled trace, used to pre-warm the cache from
 // the persistent store at startup. It never displaces anything: a present
 // key (settled or in flight) and a full cache both leave the cache

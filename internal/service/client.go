@@ -61,11 +61,14 @@ func (c *Client) backoff() time.Duration {
 }
 
 // retryDelay picks the wait before attempt n (0-based) given the last
-// response, honoring Retry-After on shed responses.
+// response, honoring Retry-After on shed responses. The server emits
+// jittered fractional seconds (e.g. "0.743") so a shed herd doesn't
+// retry in lockstep; integer values from other servers parse the same
+// way.
 func (c *Client) retryDelay(n int, resp *http.Response) time.Duration {
 	if resp != nil {
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
-			return time.Duration(secs) * time.Second
+		if secs, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64); err == nil && secs >= 0 {
+			return time.Duration(secs * float64(time.Second))
 		}
 	}
 	return c.backoff() << n

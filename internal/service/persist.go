@@ -86,6 +86,21 @@ func (p *persistence) load(key TraceKey) (*trace.Trace, bool) {
 	return tr, true
 }
 
+// raw fetches the marshalled trace payload for key without decoding it.
+// The store CRC-verified the frame on read, so the bytes are exactly what
+// a successful Put committed. The peer trace endpoint serves these bytes
+// re-framed, avoiding a decode/re-encode round trip per fleet fetch.
+func (p *persistence) raw(key TraceKey) ([]byte, bool) {
+	if p == nil {
+		return nil, false
+	}
+	b, ok, err := p.st.Get(key.String())
+	if err != nil || !ok {
+		return nil, false
+	}
+	return b, true
+}
+
 // save persists a freshly captured trace, best-effort.
 func (p *persistence) save(key TraceKey, tr *trace.Trace) {
 	if p == nil {

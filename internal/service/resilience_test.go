@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -30,8 +31,16 @@ func TestOverloadShedsWith503(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("shed took %v, want prompt rejection", elapsed)
 	}
-	if got := resp.Header.Get("Retry-After"); got != "2" {
-		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	// The hint is jittered over [0.5x, 1.5x) of the configured 2s base so a
+	// shed herd doesn't retry in lockstep; it must parse as fractional
+	// seconds inside that window.
+	got := resp.Header.Get("Retry-After")
+	secs, err := strconv.ParseFloat(got, 64)
+	if err != nil {
+		t.Fatalf("Retry-After = %q: not a fractional-seconds value: %v", got, err)
+	}
+	if secs < 1 || secs >= 3 {
+		t.Fatalf("Retry-After = %v, want within the jitter window [1, 3) for a 2s base", secs)
 	}
 	var er errorResponse
 	if err := json.Unmarshal(body, &er); err != nil || !strings.Contains(er.Error, "overloaded") {

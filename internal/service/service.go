@@ -41,6 +41,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -98,6 +99,10 @@ type Config struct {
 	// default — run to completion, which keeps a post-timeout retry cheap;
 	// set a positive bound to reclaim capacity under churn.
 	CaptureGrace time.Duration
+	// Fleet shards this instance into a cluster (nil = single node). See
+	// FleetConfig: peers resolve local misses over GET /v1/trace/{key}
+	// before re-capturing, and /v1/readyz + /v1/status become shard-aware.
+	Fleet *FleetConfig
 }
 
 // Server answers simulation queries over HTTP. It is safe for concurrent
@@ -107,6 +112,7 @@ type Server struct {
 	cache   *TraceCache
 	gate    *gate
 	persist *persistence
+	peers   *peerFetcher
 	mux     *http.ServeMux
 	start   time.Time
 	ready   atomic.Bool
@@ -114,6 +120,12 @@ type Server struct {
 	served                                    atomic.Int64
 	inflightSearch, inflightRun, inflightGrid atomic.Int64
 	inflightScenario                          atomic.Int64
+	// liveCaptures counts actual driver.CaptureTrace invocations —
+	// payload executions. Unlike the cache's Captures stat (which counts
+	// fill-closure runs, peer fetches included), this is the number the
+	// fleet selftest pins at zero to prove a restarted shard re-warmed
+	// from peers instead of re-executing.
+	liveCaptures atomic.Int64
 }
 
 // New builds a Server over the configuration.
@@ -140,11 +152,16 @@ func New(cfg Config) *Server {
 		s.persist = &persistence{st: cfg.Store}
 		s.persist.prewarm(s.cache)
 	}
+	if cfg.Fleet != nil {
+		s.peers = newPeerFetcher(cfg.Fleet)
+	}
 	s.ready.Store(true)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/grid", s.handleGrid)
 	s.mux.HandleFunc("POST /v1/scenario", s.handleScenario)
+	s.mux.HandleFunc("GET /v1/trace/{key}", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/ring", s.handleRing)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
@@ -154,6 +171,12 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.served.Add(1)
+	if s.peers != nil {
+		// Which shard answered travels on every response, so loadgen and
+		// the fleet selftest can assert routing balance and failover
+		// without server-side coordination.
+		w.Header().Set("X-Ironhide-Shard", s.peers.self)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -278,13 +301,17 @@ type GridResponse struct {
 
 // StatusResponse is /v1/status's body.
 type StatusResponse struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Ready         bool           `json:"ready"`
-	Served        int64          `json:"served"`
-	InFlight      InFlightStats  `json:"in_flight"`
-	Admission     AdmissionStats `json:"admission"`
-	Cache         CacheStats     `json:"cache"`
-	Store         *StoreStatus   `json:"store,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Ready         bool    `json:"ready"`
+	Served        int64   `json:"served"`
+	// LiveCaptures counts payload executions (driver.CaptureTrace calls):
+	// the work replay, the store and peer fetch all exist to avoid.
+	LiveCaptures int64          `json:"live_captures"`
+	InFlight     InFlightStats  `json:"in_flight"`
+	Admission    AdmissionStats `json:"admission"`
+	Cache        CacheStats     `json:"cache"`
+	Store        *StoreStatus   `json:"store,omitempty"`
+	Fleet        *FleetStatus   `json:"fleet,omitempty"`
 }
 
 // InFlightStats counts requests currently executing per endpoint.
@@ -332,17 +359,21 @@ func errorStatus(err error) int {
 func (s *Server) writeWorkError(w http.ResponseWriter, err error) {
 	status := errorStatus(err)
 	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", s.retryAfterValue())
 	}
 	writeError(w, status, err)
 }
 
-func (s *Server) retryAfterSeconds() int {
-	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	return secs
+// retryAfterValue renders the Retry-After hint as fractional seconds
+// jittered uniformly over [0.5x, 1.5x) of the configured base. Without
+// jitter, every client a shed wave turned away retries in lockstep
+// against the same shard and the herd re-forms on schedule; the spread
+// de-correlates them. service.Client honors the fractional value exactly;
+// a standards-strict client that parses integer seconds still backs off,
+// just on a coarser clock.
+func (s *Server) retryAfterValue() string {
+	secs := s.cfg.RetryAfter.Seconds() * (0.5 + rand.Float64())
+	return strconv.FormatFloat(secs, 'f', 3, 64)
 }
 
 // decodeBody parses a JSON request body, bounded by maxRequestBody.
@@ -392,6 +423,7 @@ func ctxInterrupt(ctx context.Context) func() error {
 const (
 	srcHit     = "hit"     // settled LRU entry (or coalesced onto one capture)
 	srcStore   = "store"   // loaded from the persistent store
+	srcPeer    = "peer"    // fetched from a fleet peer (capture avoided)
 	srcCapture = "capture" // freshly captured
 )
 
@@ -447,18 +479,26 @@ func (s *Server) respond(ctx context.Context, w http.ResponseWriter, work func()
 	}
 }
 
-// getTrace fetches the query's trace through three levels: the LRU cache,
-// the persistent store (read-through), then a fresh capture (written
-// through to the store). src reports which level answered: srcHit,
-// srcStore or srcCapture.
+// getTrace fetches the query's trace through four levels: the LRU cache,
+// the persistent store (read-through), the key's fleet peers (fetched
+// over the store's checksummed framing, CRC re-verified on receipt), then
+// a fresh capture. Peer fetches and captures both write through to the
+// store, so a warmed shard stays warm across a restart. src reports which
+// level answered: srcHit, srcStore, srcPeer or srcCapture.
 func (s *Server) getTrace(ctx context.Context, entry apps.Entry, key TraceKey, opts driver.Options) (*trace.Trace, string, error) {
-	fromStore := false
+	fromStore, fromPeer := false, false
 	tr, hit, err := s.cache.GetOrCapture(ctx, key, func(interrupt func() error) (*trace.Trace, error) {
 		if stored, ok := s.persist.load(key); ok {
 			fromStore = true
 			return stored, nil
 		}
+		if fetched, _, ok := s.peers.fetch(ctx, key); ok {
+			fromPeer = true
+			s.persist.save(key, fetched)
+			return fetched, nil
+		}
 		opts.Interrupt = interrupt
+		s.liveCaptures.Add(1)
 		captured, err := driver.CaptureTrace(s.cfg.Arch, entry.Factory, opts)
 		if err == nil {
 			s.persist.save(key, captured)
@@ -472,6 +512,8 @@ func (s *Server) getTrace(ctx context.Context, entry apps.Entry, key TraceKey, o
 		return tr, srcHit, nil
 	case fromStore:
 		return tr, srcStore, nil
+	case fromPeer:
+		return tr, srcPeer, nil
 	default:
 		return tr, srcCapture, nil
 	}
@@ -712,7 +754,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		// The header reports the most expensive source any phase touched.
 		var srcMu sync.Mutex
 		worst := srcHit
-		rank := map[string]int{srcHit: 0, srcStore: 1, srcCapture: 2}
+		rank := map[string]int{srcHit: 0, srcStore: 1, srcPeer: 2, srcCapture: 3}
 		opts := scenario.Options{
 			Workers: s.cfg.GridWorkers,
 			TraceFor: func(entry apps.Entry, scale float64) (*trace.Trace, error) {
@@ -742,6 +784,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Ready:         s.ready.Load(),
 		Served:        s.served.Load(),
+		LiveCaptures:  s.liveCaptures.Load(),
 		InFlight: InFlightStats{
 			Search:   s.inflightSearch.Load(),
 			Run:      s.inflightRun.Load(),
@@ -751,7 +794,85 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Admission: s.gate.stats(),
 		Cache:     s.cache.Stats(),
 		Store:     s.persist.status(),
+		Fleet:     s.peers.status(s.storeKeys()),
 	})
+}
+
+// storeKeys lists the committed persistent-store keys ("" store → none).
+func (s *Server) storeKeys() []string {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.st.Keys()
+}
+
+// handleTrace serves this shard's copy of a trace to fleet peers, framed
+// exactly as the persistent store frames entries on disk (IHS1 magic,
+// framed key, CRC-32C over the whole frame) — the fetching side re-runs
+// the same integrity checks on receipt, so a bit flip anywhere between
+// this shard's memory and the peer's socket is caught, never replayed.
+// The endpoint is read-only and never triggers work: a shard that doesn't
+// already hold the trace answers 404 and the asking peer falls back to
+// its own capture.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	ks := r.PathValue("key")
+	key, err := ParseTraceKey(ks)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeFrame := func(src string, frame []byte) {
+		if s.peers != nil {
+			s.peers.traceServed.Add(1)
+		}
+		cacheHeader(w, src)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(frame)
+	}
+	if tr, ok := s.cache.Peek(key); ok {
+		writeFrame(srcHit, store.EncodeEntry(ks, trace.Marshal(tr)))
+		return
+	}
+	if payload, ok := s.persist.raw(key); ok {
+		writeFrame(srcStore, store.EncodeEntry(ks, payload))
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("trace %q not on this shard", ks))
+}
+
+// RingResponse is /v1/ring's body: this shard's view of the consistent-
+// hash ring, plus — when ?key= is supplied — the replica set it computes
+// for that key. Every fleet member must answer identically for the same
+// key; the fleet selftest asserts exactly that against the client ring.
+type RingResponse struct {
+	Self     string   `json:"self"`
+	Members  []string `json:"members"`
+	Seed     int64    `json:"seed"`
+	VNodes   int      `json:"vnodes"`
+	Replicas int      `json:"replicas"`
+	Key      string   `json:"key,omitempty"`
+	Owners   []string `json:"owners,omitempty"`
+}
+
+func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
+	if s.peers == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("not a fleet member"))
+		return
+	}
+	resp := RingResponse{
+		Self:     s.peers.self,
+		Members:  s.peers.ring.Members(),
+		Seed:     s.peers.ring.Seed(),
+		VNodes:   s.peers.ring.VNodes(),
+		Replicas: s.peers.replicas,
+	}
+	if key := r.URL.Query().Get("key"); key != "" {
+		resp.Key = key
+		resp.Owners = s.peers.ring.Owners(key, s.peers.replicas)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz is process liveness: 200 whenever the server can answer
@@ -763,13 +884,45 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// ReadyzFleet reports shard identity, ring membership and prewarm
+// progress inside a fleet member's /v1/readyz body, so a router or
+// operator polling readiness also learns the shard's view of the ring.
+type ReadyzFleet struct {
+	Self     string   `json:"self"`
+	Members  []string `json:"members"`
+	Seed     int64    `json:"seed"`
+	VNodes   int      `json:"vnodes"`
+	Replicas int      `json:"replicas"`
+	// Prewarmed counts traces loaded into the LRU from the store at boot.
+	Prewarmed int `json:"prewarmed"`
+	// StoreEntries counts committed traces on this shard's disk.
+	StoreEntries int `json:"store_entries"`
+}
+
 // handleReadyz is load-balancer readiness: 200 while accepting new work,
 // 503 once draining so traffic shifts away before the listener closes.
+// Fleet members additionally report ring membership and prewarm progress.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"status": "ready"}
+	if s.peers != nil {
+		fl := ReadyzFleet{
+			Self:     s.peers.self,
+			Members:  s.peers.ring.Members(),
+			Seed:     s.peers.ring.Seed(),
+			VNodes:   s.peers.ring.VNodes(),
+			Replicas: s.peers.replicas,
+		}
+		if s.persist != nil {
+			fl.Prewarmed = s.persist.prewarmed
+			fl.StoreEntries = s.persist.st.Len()
+		}
+		body["fleet"] = fl
+	}
 	if s.ready.Load() {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		writeJSON(w, http.StatusOK, body)
 		return
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	body["status"] = "draining"
+	w.Header().Set("Retry-After", s.retryAfterValue())
+	writeJSON(w, http.StatusServiceUnavailable, body)
 }
