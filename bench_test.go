@@ -15,6 +15,8 @@
 //	BenchmarkPurge              strong-isolation purge cost
 //	BenchmarkReconfigBudget     dynamic-hardware-isolation event cost
 //	BenchmarkScenarioPhase      multi-tenant timeline engine, per phase
+//	BenchmarkCoTenantReplay     space-shared co-run on disjoint sub-gangs
+//	BenchmarkJointSearch        joint-scheduler policy search end to end
 //	BenchmarkGridSequential     app×model grid on 1 runner worker
 //	BenchmarkGridParallel       the same grid on all host cores
 //
@@ -40,6 +42,7 @@ import (
 	"ironhide/internal/noc"
 	"ironhide/internal/runner"
 	"ironhide/internal/scenario"
+	"ironhide/internal/sched"
 	"ironhide/internal/sim"
 	"ironhide/internal/trace"
 )
@@ -491,6 +494,102 @@ func BenchmarkHeadlineClaim(b *testing.B) {
 		}
 		b.ReportMetric(ratio, "mi6-vs-ironhide")
 	}
+}
+
+// benchTenants captures the two representative apps once and packs them
+// with the interference-aware policy — the same partition path the joint
+// scheduler and the co-tenant scenario engine use.
+func benchTenants(b *testing.B, cfg arch.Config, scale float64) (sched.Resources, []driver.CoTenant) {
+	b.Helper()
+	var tenants []sched.Tenant
+	for _, name := range []string{"<AES, QUERY>", "<MEMCACHED, OS>"} {
+		entry, ok := apps.ByName(name)
+		if !ok {
+			b.Fatal("catalog missing app")
+		}
+		tr, err := driver.CaptureTrace(cfg, entry.Factory, driver.Options{Scale: scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tenants = append(tenants, sched.Tenant{Name: entry.Alias, Trace: tr})
+	}
+	res, err := sched.MachineResources(cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := sched.InterferenceAware{}.Partition(res, []int{16, 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res, part.CoTenants(tenants)
+}
+
+// BenchmarkCoTenantReplay measures one space-shared co-run: two mutually
+// distrusting tenants replaying *simultaneously* on disjoint sub-gangs of
+// one machine with cross-tenant NoC contention tracking on.
+func BenchmarkCoTenantReplay(b *testing.B) {
+	cfg := benchCfg()
+	const scale = 0.05
+	res, cotenants := benchTenants(b, cfg, scale)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var co *driver.CoRunResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		co, err = driver.CoRunTraces(cfg, cotenants, driver.CoRunOptions{
+			Scale: scale, SecureCores: res.SecureCores, Contention: true, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if co.TotalCycles <= 0 || co.RouteViolations != 0 {
+		b.Fatalf("implausible co-run: cycles=%d violations=%d", co.TotalCycles, co.RouteViolations)
+	}
+	var conflicts int64
+	for _, t := range co.Tenants {
+		conflicts += t.LinkConflicts
+	}
+	b.ReportMetric(float64(conflicts), "link-conflicts")
+	b.ReportMetric(float64(co.TotalCycles)/1e6, "mcycles-horizon")
+}
+
+// BenchmarkJointSearch measures the full joint-scheduler pipeline: the
+// per-tenant demand searches, every packing policy's partition, and each
+// partition's scoring co-runs (one fully active plus one single-active
+// baseline per tenant), fanned out over all host cores.
+func BenchmarkJointSearch(b *testing.B) {
+	cfg := benchCfg()
+	const scale = 0.04
+	var tenants []sched.Tenant
+	for _, name := range []string{"<AES, QUERY>", "<MEMCACHED, OS>"} {
+		entry, ok := apps.ByName(name)
+		if !ok {
+			b.Fatal("catalog missing app")
+		}
+		tr, err := driver.CaptureTrace(cfg, entry.Factory, driver.Options{Scale: scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tenants = append(tenants, sched.Tenant{Name: entry.Alias, Trace: tr})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep *sched.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = sched.JointSearch(cfg, tenants, sched.Options{
+			Scale: scale, Workers: runner.DefaultWorkers(), Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rep.Policies) != 3 || rep.Best == "" {
+		b.Fatalf("implausible report: best %q over %d policies", rep.Best, len(rep.Policies))
+	}
+	b.ReportMetric(rep.Policies[0].Throughput, "best-throughput")
+	b.ReportMetric(rep.Policies[0].Fairness, "best-fairness")
 }
 
 // BenchmarkTraceDecode measures the varint codec over a real capture —

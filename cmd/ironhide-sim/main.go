@@ -16,7 +16,12 @@
 //	attack   Prime+Probe covert-channel validation (extension)
 //	sweep    interactivity ablation (input-count sweep)
 //	scenario multi-tenant dynamic-reconfiguration timeline (extension)
+//	cotenancy joint-scheduler space-sharing policy study (extension)
 //	all      everything above
+//
+// -cotenancy switches the scenario experiment's resident secure processes
+// from time-sharing the secure cluster to space-sharing it on disjoint
+// sub-gangs placed by the joint scheduler.
 //
 // Every experiment is a job grid executed on -parallel workers (default:
 // all host cores) with deterministic per-job seeds, so any worker count
@@ -50,7 +55,7 @@ import (
 
 // experimentNames lists the experiments in presentation order; "all" runs
 // every one of them off a single application×model matrix.
-var experimentNames = []string{"table1", "fig1a", "fig6", "fig7", "fig8", "attack", "sweep", "scenario"}
+var experimentNames = []string{"table1", "fig1a", "fig6", "fig7", "fig8", "attack", "sweep", "scenario", "cotenancy"}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "round-count scale factor (smaller = faster, noisier)")
@@ -61,6 +66,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the job grids (1 = sequential; results are identical at any count)")
 	searchWorkers := flag.Int("search-workers", 1, "worker count for each exhaustive Optimal binding search (1 = sequential; results are identical at any count)")
 	noReplay := flag.Bool("no-replay", false, "execute the live payload for every probe and cell instead of sharing record-once/replay-many traces (slower; results are identical)")
+	coTenancy := flag.Bool("cotenancy", false, "space-share the scenario experiment's residents on disjoint sub-gangs (joint scheduler) instead of time-sharing")
 	format := flag.String("format", "text", "report format: text, csv or json")
 	outDir := flag.String("out", "", "write one <experiment>.<ext> file per report into this directory instead of stdout")
 	seed := flag.Int64("seed", 42, "base seed for deterministic runs and the covert-channel secret")
@@ -99,7 +105,7 @@ func main() {
 	cfg := arch.TileGx72Scaled(*dilation)
 	ec := experiments.Config{
 		Scale: *scale, Stride: *stride, Parallel: *parallel, BaseSeed: *seed,
-		SearchWorkers: *searchWorkers, NoReplay: *noReplay,
+		SearchWorkers: *searchWorkers, NoReplay: *noReplay, CoTenancy: *coTenancy,
 		Apps: appNames,
 	}
 
@@ -219,6 +225,8 @@ func build(names []string, cfg arch.Config, ec experiments.Config, trials int) (
 			rep, err = experiments.BuildSweep(cfg, ec, []int{30, 60, 120, 240})
 		case "scenario":
 			rep, err = experiments.BuildScenario(cfg, ec)
+		case "cotenancy":
+			rep, err = experiments.BuildCoTenancy(cfg, ec)
 		default:
 			err = fmt.Errorf("unknown experiment %q", name)
 		}

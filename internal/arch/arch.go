@@ -88,6 +88,12 @@ type Config struct {
 	// On-chip network.
 	HopLat    int64 // per-hop router+link traversal, cycles
 	RouterLat int64 // injection/ejection overhead per network crossing, cycles
+	// LinkContentionLat is the added cycles per mesh link whose last user
+	// was a different co-resident tenant — the switch-allocation penalty a
+	// packet pays when it displaces another tenant's flow on a shared
+	// link. Charged only when the machine tracks tenants (space-shared
+	// co-tenancy); single-tenant runs never observe it.
+	LinkContentionLat int64
 
 	// Memory system.
 	MemControllers int
@@ -204,8 +210,9 @@ func TileGx72() Config {
 
 		LineSize: 64,
 
-		HopLat:    2,
-		RouterLat: 4,
+		HopLat:            2,
+		RouterLat:         4,
+		LinkContentionLat: 2,
 
 		MemControllers: 4,
 		DRAMRegions:    8,

@@ -29,6 +29,7 @@ import (
 	"ironhide/internal/metrics"
 	"ironhide/internal/runner"
 	"ironhide/internal/scenario"
+	"ironhide/internal/sched"
 	"ironhide/internal/trace"
 	"ironhide/internal/workload"
 )
@@ -53,6 +54,10 @@ type Config struct {
 	// NoReplay disables the shared record-once/replay-many acceleration
 	// and runs every grid cell with live payload execution.
 	NoReplay bool
+	// CoTenancy makes the scenario experiment space-share resident secure
+	// processes on disjoint sub-gangs of one machine (joint scheduler)
+	// instead of time-sharing the secure cluster.
+	CoTenancy bool
 }
 
 func (c Config) scale() float64 {
@@ -612,7 +617,7 @@ func Sweep(cfg arch.Config, ec Config, rounds []int, w io.Writer) ([]SweepPoint,
 // resizes charging the real purge costs. The timeline derives from
 // Config.BaseSeed; Config.Apps restricts the tenant pool.
 func BuildScenario(cfg arch.Config, ec Config) (*scenario.Report, error) {
-	spec := scenario.Spec{Seed: ec.seed(), Scale: ec.scale(), Events: 8}
+	spec := scenario.Spec{Seed: ec.seed(), Scale: ec.scale(), Events: 8, CoTenancy: ec.CoTenancy}
 	// Config.Apps carries paper labels; the scenario pool wants the
 	// file-safe aliases. Unknown names fail loudly — a silently
 	// substituted default pool would report on the wrong tenants.
@@ -624,6 +629,50 @@ func BuildScenario(cfg arch.Config, ec Config) (*scenario.Report, error) {
 		spec.Apps = append(spec.Apps, e.Alias)
 	}
 	return scenario.Run(cfg, spec, scenario.Options{Workers: ec.workers()})
+}
+
+// BuildCoTenancy runs the joint-scheduler policy study: the first few
+// selected applications become mutually distrusting tenants that want the
+// machine simultaneously, every packing policy partitions the clusters
+// between them, and each partition is scored by co-running all tenants'
+// traces at once (space-sharing, not time-sharing). Co-tenancy needs the
+// recorded traces, so this experiment captures even under NoReplay.
+func BuildCoTenancy(cfg arch.Config, ec Config) (*sched.Report, error) {
+	entries := ec.catalog()
+	if len(entries) > 3 {
+		entries = entries[:3]
+	}
+	if len(entries) < 2 {
+		return nil, fmt.Errorf("experiments: co-tenancy needs at least two applications, got %d", len(entries))
+	}
+	traces, err := runner.Map(ec.workers(), entries, func(i int, entry apps.Entry) (*trace.Trace, error) {
+		tr, err := driver.CaptureTrace(cfg, entry.Factory, driver.Options{Scale: ec.scale()})
+		if err != nil {
+			return nil, fmt.Errorf("capture %s: %w", entry.Name, err)
+		}
+		return tr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tenants := make([]sched.Tenant, len(entries))
+	for i, entry := range entries {
+		tenants[i] = sched.Tenant{Name: entry.Alias, Trace: traces[i]}
+	}
+	return sched.JointSearch(cfg, tenants, sched.Options{
+		Scale:   ec.scale(),
+		Workers: ec.workers(),
+		Seed:    ec.seed(),
+	})
+}
+
+// CoTenancy renders BuildCoTenancy as text.
+func CoTenancy(cfg arch.Config, ec Config, w io.Writer) error {
+	rep, err := BuildCoTenancy(cfg, ec)
+	if err != nil {
+		return err
+	}
+	return metrics.EmitText(w, rep)
 }
 
 // BuildAttack mounts the Prime+Probe covert channel under every model

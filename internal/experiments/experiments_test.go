@@ -161,9 +161,13 @@ func TestReportsEmitAllFormats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cot, err := BuildCoTenancy(cfg(), ec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	reports := []metrics.Tabular{
 		mx.BuildFig1a(), mx.BuildFig6(), mx.BuildFig7(),
-		BuildTable1(cfg()), att, sweep,
+		BuildTable1(cfg()), att, sweep, cot,
 	}
 	for _, rep := range reports {
 		if rep.ReportName() == "" || rep.ReportTitle() == "" {
@@ -191,6 +195,40 @@ func TestReportsEmitAllFormats(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// The co-tenancy experiment ranks every packing policy and stays
+// byte-identical across worker counts.
+func TestCoTenancyExperiment(t *testing.T) {
+	run := func(parallel int) []byte {
+		ec := fast()
+		ec.Parallel = parallel
+		rep, err := BuildCoTenancy(cfg(), ec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Policies) != 3 || rep.Best != rep.Policies[0].Policy {
+			t.Fatalf("implausible ranking: best %q over %d policies", rep.Best, len(rep.Policies))
+		}
+		for _, p := range rep.Policies {
+			if len(p.Tenants) != 2 || p.Throughput <= 0 || p.Fairness <= 0 || p.Fairness > 1+1e-9 {
+				t.Fatalf("policy %s: implausible score %+v", p.Policy, p)
+			}
+			for _, ten := range p.Tenants {
+				if ten.SoloCycles <= 0 || ten.CoCycles <= 0 || ten.SecureCores <= 0 || ten.InsecureCores <= 0 {
+					t.Fatalf("policy %s tenant %s: empty share %+v", p.Policy, ten.App, ten)
+				}
+			}
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if seq, par := run(1), run(8); !bytes.Equal(seq, par) {
+		t.Fatalf("cotenancy diverges between -parallel 1 and 8:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
 	}
 }
 

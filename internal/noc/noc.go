@@ -94,6 +94,14 @@ type Mesh struct {
 	hopLat    int64
 	routerLat int64
 	traffic   []int64 // dense directed-link index -> flits
+
+	// lastUser tracks, per directed link, the tenant whose packet most
+	// recently crossed it (0 = no owner yet). It backs the space-shared
+	// co-tenancy interference accounting: a route recorded under an owner
+	// counts the links it takes over from a *different* tenant. The array
+	// is allocated lazily by the first EnableOwnerTracking call, so
+	// single-tenant machines pay nothing.
+	lastUser []int8
 }
 
 // New builds a mesh from the machine configuration.
@@ -297,8 +305,78 @@ func (m *Mesh) TrafficThrough(member func(arch.Coord) bool) int64 {
 	return t
 }
 
-// ResetTraffic clears the link counters.
-func (m *Mesh) ResetTraffic() { clear(m.traffic) }
+// ResetTraffic clears the link counters and any per-link owner state.
+func (m *Mesh) ResetTraffic() {
+	clear(m.traffic)
+	clear(m.lastUser)
+}
+
+// EnableOwnerTracking allocates the per-link owner array (idempotent).
+// RecordRouteOwner requires it; plain RecordRoute ignores it.
+func (m *Mesh) EnableOwnerTracking() {
+	if m.lastUser == nil {
+		m.lastUser = make([]int8, len(m.traffic))
+	}
+}
+
+// ResetOwners forgets every link's last user without touching traffic —
+// the boundary between two co-tenancy experiments on one mesh.
+func (m *Mesh) ResetOwners() { clear(m.lastUser) }
+
+// RecordRouteOwner charges the links of the dimension-ordered route from
+// src to dst exactly like RecordRoute, and additionally stamps each link
+// with the owning tenant, returning how many of the route's links were
+// last used by a *different* tenant (the contention events of space-shared
+// co-tenancy). Two tenants whose routes never share a directed link can
+// never conflict, so disjoint placements provably report zero.
+func (m *Mesh) RecordRouteOwner(src, dst arch.Coord, order Order, owner int8) int64 {
+	at := src
+	var conflicts int64
+	if order == XY {
+		at, conflicts = m.chargeRowOwner(at, dst.X, owner, conflicts)
+		_, conflicts = m.chargeColOwner(at, dst.Y, owner, conflicts)
+	} else {
+		at, conflicts = m.chargeColOwner(at, dst.Y, owner, conflicts)
+		_, conflicts = m.chargeRowOwner(at, dst.X, owner, conflicts)
+	}
+	return conflicts
+}
+
+// chargeRowOwner is chargeRow with owner stamping and conflict counting.
+func (m *Mesh) chargeRowOwner(at arch.Coord, toX int, owner int8, conflicts int64) (arch.Coord, int64) {
+	dir, step := dirEast, 1
+	if toX < at.X {
+		dir, step = dirWest, -1
+	}
+	for at.X != toX {
+		li := (at.Y*m.W+at.X)*linkDirs + dir
+		m.traffic[li]++
+		if u := m.lastUser[li]; u != 0 && u != owner {
+			conflicts++
+		}
+		m.lastUser[li] = owner
+		at.X += step
+	}
+	return at, conflicts
+}
+
+// chargeColOwner is chargeCol with owner stamping and conflict counting.
+func (m *Mesh) chargeColOwner(at arch.Coord, toY int, owner int8, conflicts int64) (arch.Coord, int64) {
+	dir, step := dirSouth, 1
+	if toY < at.Y {
+		dir, step = dirNorth, -1
+	}
+	for at.Y != toY {
+		li := (at.Y*m.W+at.X)*linkDirs + dir
+		m.traffic[li]++
+		if u := m.lastUser[li]; u != 0 && u != owner {
+			conflicts++
+		}
+		m.lastUser[li] = owner
+		at.Y += step
+	}
+	return at, conflicts
+}
 
 func sign(x int) int {
 	switch {

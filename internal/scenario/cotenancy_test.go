@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// Co-tenancy timelines must hold the same determinism contract as
+// time-shared ones: byte-identical Report JSON at any worker count, even
+// with engines racing each other.
+func TestCoTenancyDeterministicReplay(t *testing.T) {
+	spec := Spec{
+		Seed: 42, Scale: 0.05, Events: 6,
+		Apps:      []string{"aes-query", "sssp-graph"},
+		CoTenancy: true,
+	}
+	var reps [3]*Report
+	var errs [3]error
+	var wg sync.WaitGroup
+	for i, workers := range []int{1, 4, 2} {
+		wg.Add(1)
+		go func(slot, workers int) {
+			defer wg.Done()
+			reps[slot], errs[slot] = Run(testCfg(), spec, Options{Workers: workers})
+		}(i, workers)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	ref := reportJSON(t, reps[0])
+	for i := 1; i < len(reps); i++ {
+		if got := reportJSON(t, reps[i]); !bytes.Equal(ref, got) {
+			t.Fatalf("run %d diverged from run 0:\n%s\nvs\n%s", i, ref, got)
+		}
+	}
+
+	rep := reps[0]
+	if !rep.CoTenancy || rep.Policy != "interference-aware" {
+		t.Fatalf("report not marked co-tenant: cotenancy=%v policy=%q", rep.CoTenancy, rep.Policy)
+	}
+	if rep.RouteViolations != 0 {
+		t.Fatalf("co-tenant timeline recorded %d route violations", rep.RouteViolations)
+	}
+	var coResident bool
+	for _, ph := range rep.Phases {
+		if len(ph.Runs) == 0 {
+			continue
+		}
+		if ph.Policy == "" || ph.CoRunCycles <= 0 {
+			t.Fatalf("phase %d not measured by co-run: %+v", ph.Index, ph)
+		}
+		var horizon int64
+		for _, run := range ph.Runs {
+			if run.SoloCycles <= 0 || run.CompletionCycles <= 0 {
+				t.Fatalf("phase %d run %s: empty cycles", ph.Index, run.App)
+			}
+			if run.Slowdown < 1 {
+				t.Fatalf("phase %d run %s: co-resident faster than solo (%gx)", ph.Index, run.App, run.Slowdown)
+			}
+			if run.CompletionCycles > horizon {
+				horizon = run.CompletionCycles
+			}
+		}
+		// The shared horizon spans every tenant's whole run (warmup
+		// included), so it can never undercut any tenant's measured window.
+		if ph.CoRunCycles < horizon {
+			t.Fatalf("phase %d: co-run horizon %d shorter than a tenant completion %d", ph.Index, ph.CoRunCycles, horizon)
+		}
+		if len(ph.Runs) > 1 {
+			coResident = true
+		}
+	}
+	if !coResident {
+		t.Fatal("timeline never reached a multi-tenant phase; pick a different seed")
+	}
+}
+
+// Every packing policy drives a valid timeline, and the spec validation
+// rejects misuse.
+func TestCoTenancyPoliciesAndValidation(t *testing.T) {
+	timeline := []Event{
+		{Kind: Arrive, App: "aes-query"},
+		{Kind: Arrive, App: "sssp-graph"},
+		{Kind: LoadShift, App: "aes-query", Factor: 2},
+	}
+	for _, policy := range []string{"best-fit", "interference-aware", "fairness-floor"} {
+		spec := Spec{Seed: 7, Scale: 0.05, Timeline: timeline, CoTenancy: true, Policy: policy}
+		rep, err := Run(testCfg(), spec, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if rep.Policy != policy {
+			t.Fatalf("%s: report says %q", policy, rep.Policy)
+		}
+	}
+
+	bad := []Spec{
+		{Scale: 0.05, CoTenancy: true, Policy: "nope"},
+		{Scale: 0.05, Policy: "best-fit"}, // policy without co-tenancy
+		{Scale: 0.05, CoTenancy: true, Model: "Insecure"},
+	}
+	for _, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("spec %+v accepted", spec)
+		}
+	}
+}

@@ -21,6 +21,15 @@ type TenantRun struct {
 	SecureCores      int     `json:"secure_cores"`
 	CompletionCycles int64   `json:"completion_cycles"`
 	RouteViolations  int64   `json:"route_violations"`
+
+	// Co-tenancy phases (Spec.CoTenancy) measure tenants co-resident on one
+	// machine instead of solo: SoloCycles is the tenant's single-active
+	// baseline on an identically initialized machine, Slowdown is
+	// CompletionCycles/SoloCycles, and LinkConflicts counts the tenant's NoC
+	// contention events. All zero (and omitted) on time-shared phases.
+	SoloCycles    int64   `json:"solo_cycles,omitempty"`
+	Slowdown      float64 `json:"slowdown,omitempty"`
+	LinkConflicts int64   `json:"link_conflicts,omitempty"`
 }
 
 // Phase is the accounting of one timeline event: the event itself, the
@@ -50,9 +59,18 @@ type Phase struct {
 
 	Runs []TenantRun `json:"runs"`
 
+	// Co-tenancy phases: the packing policy that produced the partition,
+	// the co-run's shared-horizon end (which replaces the serialized sum in
+	// PhaseCycles), and the co-run machine's route-violation count. All
+	// zero-valued (and omitted) on time-shared phases.
+	Policy            string `json:"policy,omitempty"`
+	CoRunCycles       int64  `json:"co_run_cycles,omitempty"`
+	CoRouteViolations int64  `json:"co_route_violations,omitempty"`
+
 	// PhaseCycles is the phase's wall-clock on the shared machine: the
-	// resize stall, the context-switch purges, and the tenants' serialized
-	// completions (secure processes time-share the secure cluster).
+	// resize stall, the context-switch purges, and the tenants' completions
+	// — serialized when secure processes time-share the secure cluster,
+	// the shared co-run horizon when they space-share it.
 	PhaseCycles int64 `json:"phase_cycles"`
 }
 
@@ -67,6 +85,8 @@ type Report struct {
 	Scale      float64  `json:"scale"`
 	Apps       []string `json:"apps"`
 	MaxTenants int      `json:"max_tenants"`
+	CoTenancy  bool     `json:"cotenancy,omitempty"`
+	Policy     string   `json:"policy,omitempty"`
 
 	Phases []Phase `json:"phases"`
 
@@ -107,12 +127,20 @@ func (r *Report) Sections() []metrics.Section {
 		Caption: "per-tenant phase completions:",
 		Columns: []string{"phase", "application", "weight", "secure cores", "completion"},
 	}
+	if r.CoTenancy {
+		runs.Caption = fmt.Sprintf("per-tenant co-resident completions (policy %s):", r.Policy)
+		runs.Columns = append(runs.Columns, "solo", "slowdown", "link conflicts")
+	}
 	for _, p := range r.Phases {
 		for _, t := range p.Runs {
-			runs.Rows = append(runs.Rows, []string{
+			row := []string{
 				fmt.Sprintf("%d", p.Index), t.App, metrics.F(t.Weight),
 				fmt.Sprintf("%d", t.SecureCores), fmt.Sprintf("%d", t.CompletionCycles),
-			})
+			}
+			if r.CoTenancy {
+				row = append(row, fmt.Sprintf("%d", t.SoloCycles), metrics.Fx(t.Slowdown), fmt.Sprintf("%d", t.LinkConflicts))
+			}
+			runs.Rows = append(runs.Rows, row)
 		}
 	}
 

@@ -37,6 +37,7 @@ import (
 	"ironhide/internal/kernel"
 	"ironhide/internal/noc"
 	"ironhide/internal/runner"
+	"ironhide/internal/sched"
 	"ironhide/internal/sim"
 	"ironhide/internal/trace"
 )
@@ -90,6 +91,16 @@ type Spec struct {
 	ReconfigLimit int `json:"reconfig_limit,omitempty"`
 	// Timeline, when non-empty, replaces the generated event schedule.
 	Timeline []Event `json:"timeline,omitempty"`
+	// CoTenancy space-shares the secure cluster instead of time-sharing
+	// it: each phase partitions the machine between the resident tenants
+	// under the packing Policy (via the joint scheduler) and replays all
+	// their traces simultaneously on one machine, measuring the real
+	// interference through the shared L2 slices, memory controllers, and
+	// mesh links. Requires the IRONHIDE model.
+	CoTenancy bool `json:"cotenancy,omitempty"`
+	// Policy names the packing policy co-tenancy phases partition with:
+	// best-fit, interference-aware (default), or fairness-floor.
+	Policy string `json:"policy,omitempty"`
 }
 
 func (s Spec) seed() int64 {
@@ -139,6 +150,13 @@ func (s Spec) model() string {
 	return s.Model
 }
 
+func (s Spec) policy() string {
+	if s.Policy == "" {
+		return "interference-aware"
+	}
+	return s.Policy
+}
+
 // ValidateModel checks that a model name can host a multi-tenant
 // timeline: only the spatial models qualify (empty selects the default).
 // The service's fail-fast validation and the engine share this check.
@@ -161,6 +179,17 @@ func (s Spec) Validate() error {
 	}
 	for _, alias := range s.Apps {
 		if _, err := apps.Find(alias); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	if s.Policy != "" && !s.CoTenancy {
+		return fmt.Errorf("scenario: packing policy %q requires cotenancy", s.Policy)
+	}
+	if s.CoTenancy {
+		if !strings.EqualFold(s.model(), "IRONHIDE") {
+			return fmt.Errorf("scenario: co-tenancy space-shares the secure cluster and requires the IRONHIDE model, not %q", s.model())
+		}
+		if _, err := sched.PolicyByName(s.Policy); err != nil {
 			return fmt.Errorf("scenario: %w", err)
 		}
 	}
@@ -314,6 +343,10 @@ func Run(cfg arch.Config, spec Spec, opts Options) (*Report, error) {
 		Apps:       append([]string(nil), spec.pool()...),
 		MaxTenants: spec.maxTenants(),
 	}
+	if spec.CoTenancy {
+		rep.CoTenancy = true
+		rep.Policy = spec.policy()
+	}
 	for i, ev := range timeline {
 		ph, err := e.phase(i, ev)
 		if err != nil {
@@ -330,6 +363,7 @@ func Run(cfg arch.Config, spec Spec, opts Options) (*Report, error) {
 		for _, run := range ph.Runs {
 			rep.RouteViolations += run.RouteViolations
 		}
+		rep.RouteViolations += ph.CoRouteViolations
 	}
 	return rep, nil
 }
@@ -524,8 +558,14 @@ func (e *engine) phase(index int, ev Event) (*Phase, error) {
 		return nil, err
 	}
 	ph.PhaseCycles = ph.PurgeCycles + ph.CtxSwitchCycles
-	for _, r := range ph.Runs {
-		ph.PhaseCycles += r.CompletionCycles
+	if ph.CoRunCycles > 0 {
+		// Space-shared tenants run simultaneously: the phase lasts as long
+		// as the co-run's shared horizon, not the sum of the completions.
+		ph.PhaseCycles += ph.CoRunCycles
+	} else {
+		for _, r := range ph.Runs {
+			ph.PhaseCycles += r.CompletionCycles
+		}
 	}
 	return ph, nil
 }
@@ -554,11 +594,17 @@ func (e *engine) target() int {
 		sum += demand
 	}
 	target := int(sum/float64(len(e.tenants)) + 0.5)
-	if target < 1 {
-		target = 1
+	lo, hi := 1, e.cfg.Cores()-1
+	if e.spec.CoTenancy {
+		// Space sharing needs a core per tenant in each cluster.
+		lo = len(e.tenants)
+		hi = e.cfg.Cores() - len(e.tenants)
 	}
-	if target > e.cfg.Cores()-1 {
-		target = e.cfg.Cores() - 1
+	if target < lo {
+		target = lo
+	}
+	if target > hi {
+		target = hi
 	}
 	return target
 }
@@ -615,6 +661,9 @@ func (e *engine) runTenants(index int, ph *Phase) error {
 	for _, t := range e.tenants {
 		ph.Tenants = append(ph.Tenants, t.entry.Alias)
 	}
+	if e.spec.CoTenancy && len(e.tenants) > 0 {
+		return e.runCoTenants(index, ph)
+	}
 	type job struct {
 		t    *tenant
 		seed int64
@@ -646,5 +695,84 @@ func (e *engine) runTenants(index int, ph *Phase) error {
 		return err
 	}
 	ph.Runs = runs
+	return nil
+}
+
+// runCoTenants measures a co-tenancy phase: the joint scheduler's packing
+// policy partitions the machine between the resident tenants (demand =
+// each tenant's searched binding scaled by its load weight), every
+// tenant's trace replays simultaneously on one machine, and each tenant
+// gets a single-active baseline co-run on an identically initialized
+// machine so the report carries measured slowdowns. The fully active
+// co-run and the baselines fan out over the worker pool; results are
+// identical at any worker count.
+func (e *engine) runCoTenants(index int, ph *Phase) error {
+	pols, err := sched.PolicyByName(e.spec.policy())
+	if err != nil {
+		return err
+	}
+	pol := pols[0]
+	res, err := sched.MachineResources(e.cfg, e.binding)
+	if err != nil {
+		return err
+	}
+	n := len(e.tenants)
+	demands := make([]int, n)
+	schedTenants := make([]sched.Tenant, n)
+	for i, t := range e.tenants {
+		d := int(t.weight*float64(t.binding) + 0.5)
+		if d < 1 {
+			d = 1
+		}
+		demands[i] = d
+		schedTenants[i] = sched.Tenant{Name: t.entry.Alias, Trace: t.tr}
+	}
+	part, err := pol.Partition(res, demands)
+	if err != nil {
+		return err
+	}
+	coTenants := part.CoTenants(schedTenants)
+
+	// Job 0 is the fully active co-run; job i+1 is tenant i's baseline.
+	jobs := make([]int, n+1)
+	for i := range jobs {
+		jobs[i] = i - 1
+	}
+	results, err := runner.Map(e.opts.workers(), jobs, func(_ int, active int) (*driver.CoRunResult, error) {
+		opts := driver.CoRunOptions{
+			Scale:       e.spec.scale(),
+			SecureCores: e.binding,
+			Contention:  true,
+			Seed:        e.spec.seed(),
+		}
+		if active >= 0 {
+			opts.Active = make([]bool, n)
+			opts.Active[active] = true
+		}
+		return driver.CoRunTraces(e.cfg, coTenants, opts)
+	})
+	if err != nil {
+		return err
+	}
+	co := results[0]
+	ph.Policy = pol.Name()
+	ph.CoRunCycles = co.TotalCycles
+	ph.CoRouteViolations = co.RouteViolations
+	for i, t := range e.tenants {
+		solo := results[i+1].Tenants[i].CompletionCycles
+		run := TenantRun{
+			App:              t.entry.Alias,
+			Weight:           t.weight,
+			Seed:             runner.SeedFor(e.spec.seed(), index*64+i+1),
+			SecureCores:      co.Tenants[i].SecureCores,
+			CompletionCycles: co.Tenants[i].CompletionCycles,
+			SoloCycles:       solo,
+			LinkConflicts:    co.Tenants[i].LinkConflicts,
+		}
+		if solo > 0 {
+			run.Slowdown = float64(run.CompletionCycles) / float64(solo)
+		}
+		ph.Runs = append(ph.Runs, run)
+	}
 	return nil
 }

@@ -56,6 +56,7 @@ import (
 	"ironhide/internal/enclave"
 	"ironhide/internal/runner"
 	"ironhide/internal/scenario"
+	"ironhide/internal/sched"
 	"ironhide/internal/store"
 	"ironhide/internal/trace"
 )
@@ -119,7 +120,7 @@ type Server struct {
 
 	served                                    atomic.Int64
 	inflightSearch, inflightRun, inflightGrid atomic.Int64
-	inflightScenario                          atomic.Int64
+	inflightScenario, inflightJoint           atomic.Int64
 	// liveCaptures counts actual driver.CaptureTrace invocations —
 	// payload executions. Unlike the cache's Captures stat (which counts
 	// fill-closure runs, peer fetches included), this is the number the
@@ -160,6 +161,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/grid", s.handleGrid)
 	s.mux.HandleFunc("POST /v1/scenario", s.handleScenario)
+	s.mux.HandleFunc("POST /v1/joint", s.handleJoint)
 	s.mux.HandleFunc("GET /v1/trace/{key}", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/ring", s.handleRing)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
@@ -320,6 +322,7 @@ type InFlightStats struct {
 	Run      int64 `json:"run"`
 	Grid     int64 `json:"grid"`
 	Scenario int64 `json:"scenario"`
+	Joint    int64 `json:"joint"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -779,6 +782,94 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// MaxJointTenants bounds one /v1/joint co-tenancy request.
+const MaxJointTenants = 8
+
+// JointRequest is /v1/joint's body: the tenant applications that want the
+// machine simultaneously, and the joint-search knobs.
+type JointRequest struct {
+	// Apps lists the tenants (catalog aliases), at least two.
+	Apps []string `json:"apps"`
+	// Scale multiplies round counts for captures and co-runs.
+	Scale float64 `json:"scale,omitempty"`
+	// SecureCores is the secure-cluster size to partition (0 = half).
+	SecureCores int `json:"secure_cores,omitempty"`
+	// Policy compares only the named packing policy ("" = every policy).
+	Policy string `json:"policy,omitempty"`
+	// Seed anchors the deterministic run seeds (0 = 1).
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMs caps this request (0 = the server default).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// handleJoint answers POST /v1/joint: the joint scheduler partitions the
+// machine between the requested tenants under each packing policy, scores
+// every partition by co-running the tenants' traces (cached through the
+// same trace levels as every other endpoint), and returns the ranked
+// sched.Report.
+func (s *Server) handleJoint(w http.ResponseWriter, r *http.Request) {
+	s.inflightJoint.Add(1)
+	defer s.inflightJoint.Add(-1)
+	var req JointRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, decodeStatus(err), err)
+		return
+	}
+	if len(req.Apps) < 2 || len(req.Apps) > MaxJointTenants {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("joint search needs 2..%d tenants, got %d", MaxJointTenants, len(req.Apps)))
+		return
+	}
+	entries := make([]apps.Entry, len(req.Apps))
+	for i, alias := range req.Apps {
+		entry, err := apps.Find(alias)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		entries[i] = entry
+	}
+	policies, err := sched.PolicyByName(req.Policy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	s.respond(ctx, w, func() outcome {
+		scale := req.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		worst := srcHit
+		rank := map[string]int{srcHit: 0, srcStore: 1, srcPeer: 2, srcCapture: 3}
+		tenants := make([]sched.Tenant, len(entries))
+		for i, entry := range entries {
+			key := TraceKey{App: entry.Name, Scale: scale}
+			tr, src, err := s.getTrace(ctx, entry, key, driver.Options{Scale: scale})
+			if err != nil {
+				return outcome{err: err}
+			}
+			if rank[src] > rank[worst] {
+				worst = src
+			}
+			tenants[i] = sched.Tenant{Name: entries[i].Alias, Trace: tr}
+		}
+		rep, err := sched.JointSearch(s.cfg.Arch, tenants, sched.Options{
+			Scale:       scale,
+			SecureCores: req.SecureCores,
+			Workers:     s.cfg.GridWorkers,
+			Seed:        req.Seed,
+			Policies:    policies,
+			Interrupt:   ctxInterrupt(ctx),
+		})
+		return outcome{src: worst, body: rep, err: err}
+	})
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatusResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -790,6 +881,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Run:      s.inflightRun.Load(),
 			Grid:     s.inflightGrid.Load(),
 			Scenario: s.inflightScenario.Load(),
+			Joint:    s.inflightJoint.Load(),
 		},
 		Admission: s.gate.stats(),
 		Cache:     s.cache.Stats(),

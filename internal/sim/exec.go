@@ -138,6 +138,15 @@ type Group struct {
 	ctxs   []*Ctx
 	start  int64
 	evb    *EventBuf
+
+	// addrOff shifts every *replayed* trace address charged through this
+	// gang (ReplayRun and the trace package's per-op replayer). A trace is
+	// captured on a machine whose pages start at address zero; replaying it
+	// as the i-th tenant of a space-shared co-run places the tenant's pages
+	// at a later base, and the page-aligned offset maps recorded addresses
+	// onto the tenant's own pages. Live charges (Ctx.Read and friends, the
+	// IPC ring) are never shifted — they already use real addresses.
+	addrOff arch.Addr
 }
 
 // NewGroup pins one thread on each of the given cores, all starting their
@@ -163,6 +172,7 @@ func (m *Machine) NewGroup(d arch.Domain, cores []arch.CoreID, start int64) *Gro
 	g.Domain = d
 	g.start = start
 	g.evb = nil
+	g.addrOff = 0
 	if cap(g.ctxs) < len(cores) {
 		g.ctxs = make([]*Ctx, len(cores))
 	} else {
@@ -191,6 +201,14 @@ func (g *Group) SetEventBuf(b *EventBuf) {
 
 // Capturing reports whether an event buffer is attached.
 func (g *Group) Capturing() bool { return g.evb != nil }
+
+// SetAddrOffset installs the page-aligned base offset applied to every
+// replayed trace address (see the addrOff field). Zero (the default)
+// replays addresses verbatim.
+func (g *Group) SetAddrOffset(off arch.Addr) { g.addrOff = off }
+
+// AddrOffset returns the gang's replay address offset.
+func (g *Group) AddrOffset() arch.Addr { return g.addrOff }
 
 // Restart rewinds every thread clock to start for a new execution phase,
 // reusing the gang's contexts. The driver recycles two gangs across all of
@@ -299,6 +317,7 @@ func (g *Group) Seq(body func(c *Ctx)) {
 // barriers only ever occur between runs.
 func (g *Group) ReplayRun(tid int, codes []byte, args []int64) {
 	c := g.ctxs[tid]
+	off := g.addrOff
 	if g.evb != nil || c.m.liteExec {
 		// Recording a replay (re-capture) and lite execution both need the
 		// per-op path's bookkeeping; neither is replay-throughput critical.
@@ -307,11 +326,11 @@ func (g *Group) ReplayRun(tid int, codes []byte, args []int64) {
 			case EvCompute:
 				c.Compute(args[j])
 			case EvRead:
-				c.Read(arch.Addr(args[j]))
+				c.Read(arch.Addr(args[j]) + off)
 			case EvWrite:
-				c.Write(arch.Addr(args[j]))
+				c.Write(arch.Addr(args[j]) + off)
 			case EvAtomic:
-				c.Atomic(arch.Addr(args[j]))
+				c.Atomic(arch.Addr(args[j]) + off)
 			}
 		}
 		return
@@ -326,14 +345,14 @@ func (g *Group) ReplayRun(tid int, codes []byte, args []int64) {
 		switch code {
 		case EvRead:
 			reads++
-			cycles += m.Access(core, arch.Addr(args[j]), false, d, cycles)
+			cycles += m.Access(core, arch.Addr(args[j])+off, false, d, cycles)
 		case EvWrite:
 			writes++
-			cycles += m.Access(core, arch.Addr(args[j]), true, d, cycles)
+			cycles += m.Access(core, arch.Addr(args[j])+off, true, d, cycles)
 		case EvCompute:
 			cycles += args[j]
 		case EvAtomic:
-			a := arch.Addr(args[j])
+			a := arch.Addr(args[j]) + off
 			reads++
 			writes++
 			cycles += m.Access(core, a, false, d, cycles)

@@ -65,6 +65,24 @@ type Machine struct {
 	slices   [2][]cache.SliceID
 	regionRR [2]int // round-robin cursor over the domain's regions
 
+	// allocRegions, when non-nil for a domain, overrides the partition's
+	// region list for that domain's subsequent allocations — the lever the
+	// space-shared co-tenancy engine uses to place each tenant's pages in
+	// its own DRAM regions (hence memory controllers) within the domain's
+	// partition. Reset clears it.
+	allocRegions [2][]int
+
+	// Space-shared co-tenancy accounting: tenantOf maps each core to the
+	// tenant occupying it (0 = untracked), and tenantConflicts[t] counts
+	// the NoC link-contention events charged to tenant t. When tracking is
+	// enabled every routed access stamps its links with the accessor's
+	// tenant and pays Cfg.LinkContentionLat per link taken over from a
+	// different tenant. Disabled (the default) the access path is
+	// byte-identical to a machine without tenants.
+	tenantTrack     bool
+	tenantOf        []int8
+	tenantConflicts []int64
+
 	split           noc.Split
 	routingIsolated bool
 
@@ -208,6 +226,10 @@ func (m *Machine) Reset() {
 	m.split, _ = noc.NewSplit(0, m.Cfg)
 	m.routingIsolated = false
 	m.routeGen++
+	m.allocRegions = [2][]int{}
+	m.tenantTrack = false
+	clear(m.tenantOf)
+	m.tenantConflicts = m.tenantConflicts[:0]
 	m.allocHook = nil
 	m.materializedRouting = false
 	m.liteExec = false
@@ -284,6 +306,53 @@ func (m *Machine) SetSlices(d arch.Domain, s []cache.SliceID) { m.slices[d] = s 
 // Slices returns the home slices available to a domain.
 func (m *Machine) Slices(d arch.Domain) []cache.SliceID { return m.slices[d] }
 
+// SetAllocRegions overrides (or, with nil, restores) the DRAM regions the
+// domain's subsequent allocations draw from. The co-tenancy engine brackets
+// each tenant's initialization with it so every tenant's pages land in the
+// tenant's own regions; callers must pass regions the partition actually
+// assigns to the domain, or the speculative-access check will discard the
+// tenant's traffic.
+func (m *Machine) SetAllocRegions(d arch.Domain, regions []int) { m.allocRegions[d] = regions }
+
+// SetTenantCores marks the given cores as occupied by tenant t (1-based;
+// at most 127 tenants) and enables co-tenancy link accounting. Every
+// routed access from a tracked core stamps its mesh links and pays
+// Cfg.LinkContentionLat per link last used by a different tenant.
+func (m *Machine) SetTenantCores(t int, cores []arch.CoreID) {
+	if t <= 0 || t > 127 {
+		panic(fmt.Sprintf("sim: tenant id %d out of range [1,127]", t))
+	}
+	if m.tenantOf == nil {
+		m.tenantOf = make([]int8, m.Cfg.Cores())
+	}
+	for _, c := range cores {
+		m.tenantOf[c] = int8(t)
+	}
+	for len(m.tenantConflicts) <= t {
+		m.tenantConflicts = append(m.tenantConflicts, 0)
+	}
+	m.Mesh.EnableOwnerTracking()
+	m.tenantTrack = true
+}
+
+// ClearTenants disables co-tenancy link accounting and forgets core
+// ownership, per-tenant conflict counters, and per-link owner stamps.
+func (m *Machine) ClearTenants() {
+	m.tenantTrack = false
+	clear(m.tenantOf)
+	m.tenantConflicts = m.tenantConflicts[:0]
+	m.Mesh.ResetOwners()
+}
+
+// TenantConflicts returns the NoC link-contention events charged to tenant
+// t so far (zero for unknown tenants).
+func (m *Machine) TenantConflicts(t int) int64 {
+	if t <= 0 || t >= len(m.tenantConflicts) {
+		return 0
+	}
+	return m.tenantConflicts[t]
+}
+
 // RouteViolations counts intra-cluster packets for which neither X-Y nor
 // Y-X routing stayed inside the cluster. Under contiguous row-major splits
 // this must remain zero; the property tests and the experiment harness
@@ -345,9 +414,13 @@ func (m *Machine) Access(core arch.CoreID, addr arch.Addr, write bool, d arch.Do
 	// L1 miss: traverse the mesh to the home slice. Cross-domain traffic
 	// (the shared IPC buffer) is exempt from containment — it is the one
 	// packet class allowed to cross the cluster boundary.
+	var tid int8
+	if m.tenantTrack {
+		tid = m.tenantOf[core]
+	}
 	src := m.coords[core]
 	dst := m.coords[pg.home]
-	lat += 2 * m.routeLat(src, dst, d, pg.domain) // request + response
+	lat += 2 * m.routeLat(src, dst, d, pg.domain, tid) // request + response
 
 	lat += m.Cfg.L2HitLat
 	r2 := m.l2.Slice(pg.home).Access(addr, write, d)
@@ -362,7 +435,7 @@ func (m *Machine) Access(core arch.CoreID, addr arch.Addr, write bool, d arch.Do
 	}
 
 	// L2 miss: continue to the region's memory controller.
-	lat += 2 * m.edgeRouteLat(dst, mcID, pg.domain)
+	lat += 2 * m.edgeRouteLat(dst, mcID, pg.domain, tid)
 	lat += m.mcs[mcID].Access(now+lat, false)
 	return lat
 }
@@ -372,9 +445,13 @@ func (m *Machine) Access(core arch.CoreID, addr arch.Addr, write bool, d arch.Do
 // cluster, the bidirectional X-Y/Y-X chooser keeps the path contained;
 // cross-cluster packets (accessor domain != page domain) use plain X-Y.
 // The decision comes from the route cache; latency and link charging are
-// analytic, so the steady-state path allocates nothing.
-func (m *Machine) routeLat(src, dst arch.Coord, accessor, owner arch.Domain) int64 {
+// analytic, so the steady-state path allocates nothing. A tracked tenant
+// (tid != 0) additionally pays the link-contention penalty for every link
+// it takes over from a different co-resident tenant.
+func (m *Machine) routeLat(src, dst arch.Coord, accessor, owner arch.Domain, tid int8) int64 {
 	if m.materializedRouting {
+		// The materialized reference predates co-tenancy; owner tracking is
+		// analytic-only and the equivalence tests never enable tenants.
 		return m.routeLatMaterialized(src, dst, accessor, owner)
 	}
 	order := noc.XY
@@ -390,6 +467,14 @@ func (m *Machine) routeLat(src, dst arch.Coord, accessor, owner arch.Domain) int
 		if e.violated {
 			m.routeViolations++
 		}
+	}
+	if tid != 0 {
+		lat := m.Mesh.LatencyBetween(src, dst)
+		if conflicts := m.Mesh.RecordRouteOwner(src, dst, order, tid); conflicts != 0 {
+			m.tenantConflicts[tid] += conflicts
+			lat += conflicts * m.Cfg.LinkContentionLat
+		}
+		return lat
 	}
 	m.Mesh.RecordRoute(src, dst, order)
 	return m.Mesh.LatencyBetween(src, dst)
@@ -419,7 +504,7 @@ func (m *Machine) routeLatMaterialized(src, dst arch.Coord, accessor, owner arch
 // it never crosses the cluster boundary); the remainder travels on the
 // controller's dedicated edge channel. The proxy point, ordering, and
 // edge-channel cycles come from the per-domain edge cache.
-func (m *Machine) edgeRouteLat(from arch.Coord, mcID mem.ControllerID, owner arch.Domain) int64 {
+func (m *Machine) edgeRouteLat(from arch.Coord, mcID mem.ControllerID, owner arch.Domain, tid int8) int64 {
 	if m.materializedRouting {
 		return m.edgeRouteLatMaterialized(from, mcID, owner)
 	}
@@ -430,6 +515,14 @@ func (m *Machine) edgeRouteLat(from arch.Coord, mcID mem.ControllerID, owner arc
 	}
 	if e.violated {
 		m.routeViolations++
+	}
+	if tid != 0 {
+		lat := m.Mesh.LatencyBetween(from, e.proxy) + e.edgeLat
+		if conflicts := m.Mesh.RecordRouteOwner(from, e.proxy, e.order, tid); conflicts != 0 {
+			m.tenantConflicts[tid] += conflicts
+			lat += conflicts * m.Cfg.LinkContentionLat
+		}
+		return lat
 	}
 	m.Mesh.RecordRoute(from, e.proxy, e.order)
 	return m.Mesh.LatencyBetween(from, e.proxy) + e.edgeLat

@@ -72,10 +72,13 @@ func (as *AddressSpace) Alloc(name string, size int) Buffer {
 	ps := m.Cfg.PageSize
 	npages := (size + ps - 1) / ps
 	base := arch.Addr(len(m.pages) * ps)
-	regions := m.Part.RegionsOf(as.domain)
-	if len(regions) == 0 {
-		// Non-partitioned machines own every region through Insecure.
-		regions = m.Part.RegionsOf(arch.Insecure)
+	regions := m.allocRegions[as.domain]
+	if regions == nil {
+		regions = m.Part.RegionsOf(as.domain)
+		if len(regions) == 0 {
+			// Non-partitioned machines own every region through Insecure.
+			regions = m.Part.RegionsOf(arch.Insecure)
+		}
 	}
 	if len(regions) == 0 {
 		panic(fmt.Sprintf("sim: no DRAM regions available to domain %v", as.domain))

@@ -360,17 +360,18 @@ func (p *replayProc) roundPerOp(g *sim.Group, round int) {
 	d := p.proc.round(round)
 	cur := g.Ctx(0)
 	t := g.Threads()
+	off := g.AddrOffset()
 	chunk := -1
 	for j, code := range d.ops {
 		switch code {
 		case opCompute:
 			cur.Compute(d.args[j])
 		case opRead:
-			cur.Read(arch.Addr(d.args[j]))
+			cur.Read(arch.Addr(d.args[j]) + off)
 		case opWrite:
-			cur.Write(arch.Addr(d.args[j]))
+			cur.Write(arch.Addr(d.args[j]) + off)
 		case opAtomic:
-			cur.Atomic(arch.Addr(d.args[j]))
+			cur.Atomic(arch.Addr(d.args[j]) + off)
 		case opBarrier:
 			g.Barrier()
 		case opParFor:
