@@ -15,6 +15,7 @@
 //	BenchmarkPurge              strong-isolation purge cost
 //	BenchmarkReconfigBudget     dynamic-hardware-isolation event cost
 //	BenchmarkScenarioPhase      multi-tenant timeline engine, per phase
+//	BenchmarkScenarioStream     the same timeline with a streaming sink
 //	BenchmarkCoTenantReplay     space-shared co-run on disjoint sub-gangs
 //	BenchmarkJointSearch        joint-scheduler policy search end to end
 //	BenchmarkGridSequential     app×model grid on 1 runner worker
@@ -447,6 +448,40 @@ func BenchmarkScenarioPhase(b *testing.B) {
 	phases := float64(len(rep.Phases))
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/phases/1e6, "ms-per-phase")
 	b.ReportMetric(float64(rep.TotalPurgeCycles)/phases, "purge-cycles-per-phase")
+}
+
+// BenchmarkScenarioStream runs BenchmarkScenarioPhase's timeline with a
+// streaming event sink attached, measuring what live event emission adds
+// on top of the blocking engine (the sink is the service's /v1/scenario
+// stream path minus HTTP framing).
+func BenchmarkScenarioStream(b *testing.B) {
+	cfg := benchCfg()
+	spec := scenario.Spec{
+		Seed: 42, Scale: 0.05, Apps: []string{"aes-query", "sssp-graph"},
+		Timeline: []scenario.Event{
+			{Kind: scenario.Arrive, App: "aes-query"},
+			{Kind: scenario.LoadShift, App: "aes-query", Factor: 2},
+			{Kind: scenario.Arrive, App: "sssp-graph"},
+			{Kind: scenario.Depart, App: "aes-query"},
+		},
+	}
+	b.ReportAllocs()
+	var rep *scenario.Report
+	var events int
+	for i := 0; i < b.N; i++ {
+		events = 0
+		var err error
+		rep, err = scenario.Run(cfg, spec, scenario.Options{
+			Sink: func(scenario.StreamEvent) { events++ },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if events <= len(rep.Phases) {
+		b.Fatalf("implausible stream: %d events for %d phases", events, len(rep.Phases))
+	}
+	b.ReportMetric(float64(events), "events-per-run")
 }
 
 // benchGrid measures one full app×model matrix at the given worker

@@ -15,6 +15,7 @@
 //	ironhide-serve -selftest [selftest flags]
 //	ironhide-serve -chaos-selftest [chaos flags]
 //	ironhide-serve -fleet-selftest [-fleet-shards n]
+//	ironhide-serve -stream-selftest
 //
 // Serving mode listens on -addr until SIGINT/SIGTERM, then flips
 // /v1/readyz to 503, drains in-flight requests and exits. With -store,
@@ -107,6 +108,8 @@ func main() {
 
 	fleetSelftest := flag.Bool("fleet-selftest", false, "run the fleet chaos self-test (spawns a real sharded fleet, SIGKILLs a shard mid-capture, proves failover and peer-fetch re-warm) and exit")
 	fleetShards := flag.Int("fleet-shards", 3, "shards the fleet self-test spawns")
+
+	streamSelftest := flag.Bool("stream-selftest", false, "run the scenario streaming self-test (streamed vs blocking bodies diffed byte-for-byte per policy at engine fan-out 4 vs 1) and exit")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -135,6 +138,12 @@ func main() {
 			Scale:    *stScale,
 			Keys:     *chaosKeys,
 			Dilation: *dilation,
+		}))
+	}
+	if *streamSelftest {
+		os.Exit(runStreamSelftest(cfg, streamSelftestConfig{
+			Apps:  []string{"aes-query", "sssp-graph"},
+			Scale: 0.05,
 		}))
 	}
 	if *fleetSelftest {

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"ironhide/internal/scenario"
+	"ironhide/internal/service"
+)
+
+// streamSelftestConfig tunes the streaming self-test.
+type streamSelftestConfig struct {
+	Apps  []string
+	Scale float64
+}
+
+// runStreamSelftest proves the streamed /v1/scenario contract on real
+// sockets: for every reconfiguration policy, one seeded timeline is run
+// blocking and streamed against two in-process servers whose engine
+// fan-outs differ (-parallel 4 vs 1), and all four bodies must agree
+// byte-for-byte — the streamed bodies being reconstructed from each
+// stream's terminal report chunk. The event streams themselves must agree
+// across worker counts and close every phase exactly once. Returns the
+// process exit code.
+func runStreamSelftest(cfg service.Config, st streamSelftestConfig) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "stream-selftest: FAIL: "+format+"\n", args...)
+		return 1
+	}
+
+	type node struct {
+		workers int
+		client  *service.Client
+	}
+	var nodes []node
+	for _, workers := range []int{4, 1} {
+		ncfg := cfg
+		ncfg.GridWorkers = workers
+		srv := service.New(ncfg)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail("listen: %v", err)
+		}
+		hs := &http.Server{Handler: srv}
+		go func() { _ = hs.Serve(l) }()
+		defer hs.Close()
+		nodes = append(nodes, node{workers: workers,
+			client: &service.Client{BaseURL: "http://" + l.Addr().String()}})
+	}
+	fmt.Printf("ironhide-serve stream-selftest: %v at scale %g, engine fan-out 4 vs 1\n", st.Apps, st.Scale)
+
+	ctx := context.Background()
+	for _, policy := range scenario.ReconfigPolicyNames() {
+		req := service.ScenarioRequest{Spec: scenario.Spec{
+			Seed: 42, Scale: st.Scale, Events: 6, Apps: st.Apps,
+			ReconfigPolicy: policy,
+		}}
+
+		var blocking []byte
+		var events [][]scenario.StreamEvent
+		for _, n := range nodes {
+			// Blocking oracle on this node.
+			var raw json.RawMessage
+			if _, err := n.client.PostJSON(ctx, "/v1/scenario", req, &raw); err != nil {
+				return fail("%s: blocking run (workers %d): %v", policy, n.workers, err)
+			}
+			var buf bytes.Buffer
+			if err := json.Indent(&buf, raw, "", "  "); err != nil {
+				return fail("%s: indent blocking body: %v", policy, err)
+			}
+			buf.WriteByte('\n')
+			body := buf.Bytes()
+			if blocking == nil {
+				blocking = body
+			} else if !bytes.Equal(body, blocking) {
+				return fail("%s: blocking bodies diverge across worker counts", policy)
+			}
+
+			// Streamed twin.
+			var evs []scenario.StreamEvent
+			out, err := n.client.ScenarioStream(ctx, req, func(ev scenario.StreamEvent) {
+				evs = append(evs, ev)
+			})
+			if err != nil {
+				return fail("%s: streamed run (workers %d): %v", policy, n.workers, err)
+			}
+			if !bytes.Equal(out.Body, blocking) {
+				return fail("%s: streamed terminal report (workers %d) is not the blocking body:\n%s\nvs\n%s",
+					policy, n.workers, out.Body, blocking)
+			}
+			var completes int
+			for _, ev := range evs {
+				if ev.Type == scenario.EvPhaseComplete {
+					completes++
+				}
+			}
+			if completes != len(out.Report.Phases) || len(evs) == 0 {
+				return fail("%s: workers %d: %d phase-completes for %d phases (%d events)",
+					policy, n.workers, completes, len(out.Report.Phases), len(evs))
+			}
+			events = append(events, evs)
+		}
+
+		// The event sequences themselves must agree across worker counts.
+		a, _ := json.Marshal(events[0])
+		b, _ := json.Marshal(events[1])
+		if !bytes.Equal(a, b) {
+			return fail("%s: event streams diverge across worker counts", policy)
+		}
+		fmt.Printf("  %-10s  %3d events, %d phases: streamed == blocking at fan-out 4 and 1\n",
+			policy, len(events[0]), len(events[0])-countNonPhase(events[0]))
+	}
+	fmt.Println("stream-selftest: PASS")
+	return 0
+}
+
+// countNonPhase counts events that are not phase completions.
+func countNonPhase(evs []scenario.StreamEvent) int {
+	n := 0
+	for _, ev := range evs {
+		if ev.Type != scenario.EvPhaseComplete {
+			n++
+		}
+	}
+	return n
+}

@@ -17,11 +17,15 @@
 //	sweep    interactivity ablation (input-count sweep)
 //	scenario multi-tenant dynamic-reconfiguration timeline (extension)
 //	cotenancy joint-scheduler space-sharing policy study (extension)
+//	policycmp resize-decision policy comparison: completion vs purge
+//	          overhead vs leakage bound on one identical timeline
 //	all      everything above
 //
 // -cotenancy switches the scenario experiment's resident secure processes
 // from time-sharing the secure cluster to space-sharing it on disjoint
-// sub-gangs placed by the joint scheduler.
+// sub-gangs placed by the joint scheduler. -reconfig-policy selects the
+// scenario experiment's resize-decision policy (always, hysteresis or
+// costaware; policycmp always runs all three).
 //
 // Every experiment is a job grid executed on -parallel workers (default:
 // all host cores) with deterministic per-job seeds, so any worker count
@@ -55,7 +59,7 @@ import (
 
 // experimentNames lists the experiments in presentation order; "all" runs
 // every one of them off a single application×model matrix.
-var experimentNames = []string{"table1", "fig1a", "fig6", "fig7", "fig8", "attack", "sweep", "scenario", "cotenancy"}
+var experimentNames = []string{"table1", "fig1a", "fig6", "fig7", "fig8", "attack", "sweep", "scenario", "cotenancy", "policycmp"}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "round-count scale factor (smaller = faster, noisier)")
@@ -67,6 +71,7 @@ func main() {
 	searchWorkers := flag.Int("search-workers", 1, "worker count for each exhaustive Optimal binding search (1 = sequential; results are identical at any count)")
 	noReplay := flag.Bool("no-replay", false, "execute the live payload for every probe and cell instead of sharing record-once/replay-many traces (slower; results are identical)")
 	coTenancy := flag.Bool("cotenancy", false, "space-share the scenario experiment's residents on disjoint sub-gangs (joint scheduler) instead of time-sharing")
+	reconfigPolicy := flag.String("reconfig-policy", "", "scenario resize-decision policy: always, hysteresis or costaware (default: always)")
 	format := flag.String("format", "text", "report format: text, csv or json")
 	outDir := flag.String("out", "", "write one <experiment>.<ext> file per report into this directory instead of stdout")
 	seed := flag.Int64("seed", 42, "base seed for deterministic runs and the covert-channel secret")
@@ -106,7 +111,7 @@ func main() {
 	ec := experiments.Config{
 		Scale: *scale, Stride: *stride, Parallel: *parallel, BaseSeed: *seed,
 		SearchWorkers: *searchWorkers, NoReplay: *noReplay, CoTenancy: *coTenancy,
-		Apps: appNames,
+		ReconfigPolicy: *reconfigPolicy, Apps: appNames,
 	}
 
 	if *cpuProfile != "" {
@@ -227,6 +232,8 @@ func build(names []string, cfg arch.Config, ec experiments.Config, trials int) (
 			rep, err = experiments.BuildScenario(cfg, ec)
 		case "cotenancy":
 			rep, err = experiments.BuildCoTenancy(cfg, ec)
+		case "policycmp":
+			rep, err = experiments.BuildPolicyCmp(cfg, ec)
 		default:
 			err = fmt.Errorf("unknown experiment %q", name)
 		}

@@ -1,0 +1,97 @@
+// Streaming scenario consumption: watch a multi-tenant timeline resize
+// enclaves live instead of waiting for the terminal report. The example
+// starts the HTTP service in-process, posts one timeline with
+// stream:true, and prints each typed phase event — tenant arrivals and
+// departures, resizes (authorized, denied by the kernel's budget, or
+// deferred by the reconfiguration policy), purge bills — as the engine
+// emits it. The terminal chunk's report is then diffed byte-for-byte
+// against the same request served blocking: streaming changes delivery,
+// never the measurement.
+//
+// The same timeline runs once per reconfiguration policy, so the output
+// shows "hysteresis" and "costaware" skipping resizes that "always" pays
+// for.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"ironhide/internal/arch"
+	"ironhide/internal/scenario"
+	"ironhide/internal/service"
+)
+
+func main() {
+	srv := service.New(service.Config{Arch: arch.TileGx72Scaled(12)})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(l) }()
+	defer hs.Close()
+	client := &service.Client{BaseURL: "http://" + l.Addr().String()}
+
+	ctx := context.Background()
+	for _, policy := range scenario.ReconfigPolicyNames() {
+		req := service.ScenarioRequest{Spec: scenario.Spec{
+			Seed: 2026, Scale: 0.05, Apps: []string{"aes-query", "tc-graph", "sssp-graph"},
+			Events:         6,
+			ReconfigPolicy: policy,
+		}}
+
+		fmt.Printf("=== policy %s ===\n", policy)
+		out, err := client.ScenarioStream(ctx, req, printEvent)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("terminal report: %d phases, %d cycles total, %d resizes, %d denied, %d deferred\n",
+			len(out.Report.Phases), out.Report.TotalCycles, out.Report.Reconfigs,
+			out.Report.Denied, out.Report.Deferred)
+
+		// The streamed terminal report IS the blocking body.
+		var raw json.RawMessage
+		if _, err := client.PostJSON(ctx, "/v1/scenario", req, &raw); err != nil {
+			log.Fatal(err)
+		}
+		var blocking bytes.Buffer
+		if err := json.Indent(&blocking, raw, "", "  "); err != nil {
+			log.Fatal(err)
+		}
+		blocking.WriteByte('\n')
+		if !bytes.Equal(out.Body, blocking.Bytes()) {
+			log.Fatal("streamed terminal report diverged from the blocking body")
+		}
+		fmt.Println("streamed == blocking, byte-for-byte")
+		fmt.Println()
+	}
+}
+
+// printEvent renders one engine event as a human line.
+func printEvent(ev scenario.StreamEvent) {
+	switch ev.Type {
+	case scenario.EvTenantArrive:
+		fmt.Printf("  [%d] %s arrives (residents: %v)\n", ev.Phase, ev.App, ev.Tenants)
+	case scenario.EvTenantDepart:
+		fmt.Printf("  [%d] %s departs, state scrubbed (residents: %v)\n", ev.Phase, ev.App, ev.Tenants)
+	case scenario.EvLoadShift:
+		fmt.Printf("  [%d] %s load shifts x%g\n", ev.Phase, ev.App, ev.Factor)
+	case scenario.EvResizeAuthorized:
+		fmt.Printf("  [%d] resize %d -> %d cores (%d moved, %d pages re-homed)\n",
+			ev.Phase, ev.BindingFrom, ev.BindingTo, ev.CoresMoved, ev.PagesMoved)
+	case scenario.EvResizeDenied:
+		fmt.Printf("  [%d] resize %d -> %d DENIED (%s)\n", ev.Phase, ev.BindingFrom, ev.BindingTo, ev.Reason)
+	case scenario.EvPurgeCost:
+		fmt.Printf("  [%d] purge bill: %d cycles (+%d context-switch)\n", ev.Phase, ev.PurgeCycles, ev.CtxSwitchCycles)
+	case scenario.EvPhaseComplete:
+		fmt.Printf("  [%d] phase complete: %d cycles\n", ev.Phase, ev.Detail.PhaseCycles)
+	}
+}

@@ -17,6 +17,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"ironhide/internal/apps"
@@ -58,6 +59,10 @@ type Config struct {
 	// processes on disjoint sub-gangs of one machine (joint scheduler)
 	// instead of time-sharing the secure cluster.
 	CoTenancy bool
+	// ReconfigPolicy selects the scenario experiment's resize-decision
+	// policy ("" = always, the engine's historical behavior). See
+	// scenario.ReconfigPolicyNames.
+	ReconfigPolicy string
 }
 
 func (c Config) scale() float64 {
@@ -617,18 +622,96 @@ func Sweep(cfg arch.Config, ec Config, rounds []int, w io.Writer) ([]SweepPoint,
 // resizes charging the real purge costs. The timeline derives from
 // Config.BaseSeed; Config.Apps restricts the tenant pool.
 func BuildScenario(cfg arch.Config, ec Config) (*scenario.Report, error) {
-	spec := scenario.Spec{Seed: ec.seed(), Scale: ec.scale(), Events: 8, CoTenancy: ec.CoTenancy}
+	spec, err := ec.scenarioSpec()
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Run(cfg, spec, scenario.Options{Workers: ec.workers()})
+}
+
+// scenarioSpec derives the scenario experiment's Spec from the config.
+func (c Config) scenarioSpec() (scenario.Spec, error) {
+	spec := scenario.Spec{Seed: c.seed(), Scale: c.scale(), Events: 8,
+		CoTenancy: c.CoTenancy, ReconfigPolicy: c.ReconfigPolicy}
 	// Config.Apps carries paper labels; the scenario pool wants the
 	// file-safe aliases. Unknown names fail loudly — a silently
 	// substituted default pool would report on the wrong tenants.
-	for _, name := range ec.Apps {
+	for _, name := range c.Apps {
 		e, ok := apps.ByName(name)
 		if !ok {
-			return nil, fmt.Errorf("experiments: unknown application %q", name)
+			return scenario.Spec{}, fmt.Errorf("experiments: unknown application %q", name)
 		}
 		spec.Apps = append(spec.Apps, e.Alias)
 	}
-	return scenario.Run(cfg, spec, scenario.Options{Workers: ec.workers()})
+	return spec, nil
+}
+
+// BuildPolicyCmp runs the identical scenario timeline once per
+// reconfiguration policy and compares them head-to-head: total completion,
+// purge overhead, how many resizes each policy deferred or the kernel
+// denied, and the leakage bound — every boundary move reveals at most the
+// new boundary position, so a run's resize-pattern leakage is bounded by
+// reconfigs × log2(cores) bits (the Shield Bash framing: defensive
+// reactions are themselves a side channel, and a policy that defers
+// resizes also shrinks what the resize pattern can say). Rows are ranked
+// by total completion (ties by name), deterministically for a given seed.
+func BuildPolicyCmp(cfg arch.Config, ec Config) (*PolicyCmpReport, error) {
+	names := scenario.ReconfigPolicyNames()
+	rows, err := runner.Map(ec.workers(), names, func(_ int, policy string) (PolicyCmpRow, error) {
+		pc := ec
+		pc.ReconfigPolicy = policy
+		spec, err := pc.scenarioSpec()
+		if err != nil {
+			return PolicyCmpRow{}, err
+		}
+		// Policies run sequentially inside runner.Map's fan-out; each run's
+		// own phase replay stays single-worker to keep the total fan-out at
+		// Config.Parallel. Reports are deterministic at any worker split.
+		rep, err := scenario.Run(cfg, spec, scenario.Options{Workers: 1})
+		if err != nil {
+			return PolicyCmpRow{}, err
+		}
+		row := PolicyCmpRow{
+			Policy:           policy,
+			CompletionCycles: rep.TotalCycles,
+			PurgeCycles:      rep.TotalPurgeCycles,
+			Reconfigs:        rep.Reconfigs,
+			Denied:           rep.Denied,
+			Deferred:         rep.Deferred,
+			LeakageBoundBits: float64(rep.Reconfigs) * math.Log2(float64(cfg.Cores())),
+		}
+		if rep.TotalCycles > 0 {
+			row.PurgeShare = float64(rep.TotalPurgeCycles) / float64(rep.TotalCycles)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		if rows[a].CompletionCycles != rows[b].CompletionCycles {
+			return rows[a].CompletionCycles < rows[b].CompletionCycles
+		}
+		return rows[a].Policy < rows[b].Policy
+	})
+	for i := range rows {
+		rows[i].Rank = i + 1
+	}
+	return &PolicyCmpReport{
+		Name:  "policycmp",
+		Title: "Reconfiguration-policy comparison: completion vs purge overhead vs leakage bound",
+		Seed:  ec.seed(),
+		Rows:  rows,
+	}, nil
+}
+
+// PolicyCmp renders BuildPolicyCmp as text.
+func PolicyCmp(cfg arch.Config, ec Config, w io.Writer) error {
+	rep, err := BuildPolicyCmp(cfg, ec)
+	if err != nil {
+		return err
+	}
+	return metrics.EmitText(w, rep)
 }
 
 // BuildCoTenancy runs the joint-scheduler policy study: the first few

@@ -279,3 +279,54 @@ func (r *AttackReport) Sections() []metrics.Section {
 	}
 	return []metrics.Section{s}
 }
+
+// PolicyCmpRow is one reconfiguration policy's run of the identical
+// scenario timeline.
+type PolicyCmpRow struct {
+	// Rank orders rows by total completion, 1 = fastest (ties by name).
+	Rank             int     `json:"rank"`
+	Policy           string  `json:"policy"`
+	CompletionCycles int64   `json:"completion_cycles"`
+	PurgeCycles      int64   `json:"purge_cycles"`
+	PurgeShare       float64 `json:"purge_share"`
+	Reconfigs        int     `json:"reconfigs"`
+	Denied           int     `json:"denied"`
+	Deferred         int     `json:"deferred"`
+	// LeakageBoundBits bounds what the run's resize pattern can reveal:
+	// each boundary move discloses at most the new boundary position, so
+	// the bound is reconfigs × log2(cores) bits.
+	LeakageBoundBits float64 `json:"leakage_bound_bits"`
+}
+
+// PolicyCmpReport compares the reconfiguration policies head-to-head on
+// one seeded timeline: completion, purge overhead, and the leakage bound.
+type PolicyCmpReport struct {
+	Name  string         `json:"name"`
+	Title string         `json:"title"`
+	Seed  int64          `json:"seed"`
+	Rows  []PolicyCmpRow `json:"rows"`
+}
+
+func (r *PolicyCmpReport) ReportName() string  { return r.Name }
+func (r *PolicyCmpReport) ReportTitle() string { return r.Title }
+
+func (r *PolicyCmpReport) Sections() []metrics.Section {
+	s := metrics.Section{
+		Caption: fmt.Sprintf("identical timeline (seed %d) under each resize-decision policy, ranked by completion:", r.Seed),
+		Columns: []string{"rank", "policy", "completion", "purge", "purge share", "reconfigs", "denied", "deferred", "leakage bound (bits)"},
+	}
+	for _, row := range r.Rows {
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprintf("%d", row.Rank), row.Policy,
+			fmt.Sprintf("%d", row.CompletionCycles), fmt.Sprintf("%d", row.PurgeCycles),
+			metrics.Pct(row.PurgeShare),
+			fmt.Sprintf("%d", row.Reconfigs), fmt.Sprintf("%d", row.Denied), fmt.Sprintf("%d", row.Deferred),
+			metrics.F(row.LeakageBoundBits),
+		})
+	}
+	s.Notes = []string{
+		"leakage bound: each boundary move reveals at most the new boundary position (log2(cores) bits);",
+		"a policy that defers resizes trades completion time against both purge stalls and resize-pattern leakage",
+	}
+	return []metrics.Section{s}
+}

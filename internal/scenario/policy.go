@@ -1,0 +1,134 @@
+// Pluggable reconfiguration policies: when should an interactive machine
+// pay for dynamic isolation? The engine historically resized to the mix's
+// mean demand whenever the target moved (now the "always" policy). The
+// related work frames the alternatives: fence.t.s argues the flush's cost
+// model should drive when isolation is paid for, which is what
+// "costaware" implements against the measured purge stalls of PR 5/6;
+// and Shield Bash warns that defensive reactions themselves are a
+// side channel, so every policy here is deterministic per seed — its
+// decisions are a pure function of the timeline, auditable and
+// replayable, never of wall-clock or load noise.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PolicyInput is what a ReconfigPolicy sees when the engine wants to move
+// the cluster boundary. All values are deterministic accounting from the
+// run so far.
+type PolicyInput struct {
+	// Phase is the timeline index of the deciding phase.
+	Phase int
+	// Current and Target are the installed and demanded secure-cluster
+	// sizes (Target != Current, or the policy is not consulted).
+	Current, Target int
+	// LastPurgeCycles is the purge stall measured on the most recent
+	// authorized resize of this run (0 before any resize happened).
+	LastPurgeCycles int64
+	// LastPhaseCycles is the previous phase's tenant-completion total at
+	// the Current binding (0 on the first phase) — the baseline a
+	// projected gain is estimated against.
+	LastPhaseCycles int64
+}
+
+// ReconfigPolicy decides whether the engine asks the kernel to authorize
+// a cluster resize. A policy instance lives for one engine run and may
+// keep state across phases (hysteresis does); it must be deterministic —
+// identical inputs in identical order yield identical decisions.
+type ReconfigPolicy interface {
+	// Name is the wire/report name of the policy.
+	Name() string
+	// Decide reports whether the resize should be attempted. Returning
+	// false defers it: the binding stays, no budget is spent, no purge is
+	// paid, and the phase records policy_deferred.
+	Decide(in PolicyInput) bool
+}
+
+// Hysteresis defaults: a demand shift must move the boundary by at least
+// HysteresisThreshold cores for HysteresisPhases consecutive phases
+// before the resize is attempted.
+const (
+	HysteresisThreshold = 2
+	HysteresisPhases    = 2
+)
+
+// alwaysPolicy is the engine's historical behavior: any target change is
+// attempted immediately (the kernel's budget still gates it).
+type alwaysPolicy struct{}
+
+func (alwaysPolicy) Name() string            { return "always" }
+func (alwaysPolicy) Decide(PolicyInput) bool { return true }
+
+// hysteresisPolicy resizes only when the demanded shift is both large
+// enough and sustained: |Target-Current| >= threshold for k consecutive
+// deciding phases. Small or transient wobbles in the mix's mean demand
+// never trigger a purge.
+type hysteresisPolicy struct {
+	threshold, phases int
+	streak            int
+}
+
+func (p *hysteresisPolicy) Name() string { return "hysteresis" }
+
+func (p *hysteresisPolicy) Decide(in PolicyInput) bool {
+	shift := in.Target - in.Current
+	if shift < 0 {
+		shift = -shift
+	}
+	if shift < p.threshold {
+		p.streak = 0
+		return false
+	}
+	p.streak++
+	if p.streak < p.phases {
+		return false
+	}
+	p.streak = 0
+	return true
+}
+
+// costawarePolicy resizes only when the projected completion gain beats
+// the measured purge stall. The gain model is the linear scaling estimate
+// gain ≈ LastPhaseCycles × (Target-Current)/Target — a growth's benefit
+// to the resident secure processes — compared against the purge bill the
+// run most recently paid (PR 5/6 accounting). Shrinks project no secure-
+// side gain and are deferred; the very first resize (no purge measured
+// yet) is allowed, because the policy needs a measurement to reason from.
+type costawarePolicy struct{}
+
+func (costawarePolicy) Name() string { return "costaware" }
+
+func (costawarePolicy) Decide(in PolicyInput) bool {
+	if in.LastPurgeCycles == 0 {
+		return true
+	}
+	grow := in.Target - in.Current
+	if grow <= 0 {
+		return false
+	}
+	gain := in.LastPhaseCycles * int64(grow) / int64(in.Target)
+	return gain > in.LastPurgeCycles
+}
+
+// ReconfigPolicyNames lists the registered policies in presentation
+// order; the first is the default.
+func ReconfigPolicyNames() []string { return []string{"always", "hysteresis", "costaware"} }
+
+// NewReconfigPolicy builds a fresh policy instance for one engine run.
+// The empty name selects "always" (the engine's historical behavior, so
+// existing specs and goldens are untouched).
+func NewReconfigPolicy(name string) (ReconfigPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "always":
+		return alwaysPolicy{}, nil
+	case "hysteresis":
+		return &hysteresisPolicy{threshold: HysteresisThreshold, phases: HysteresisPhases}, nil
+	case "costaware":
+		return costawarePolicy{}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown reconfiguration policy %q (want %s)",
+			name, strings.Join(ReconfigPolicyNames(), ", "))
+	}
+}

@@ -1,0 +1,249 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestValidateReconfigLimit is the bugfix gate: Validate historically
+// accepted a negative ReconfigLimit that the engine then silently ignored
+// (only values > 0 override the kernel budget), so a caller trying to
+// forbid resizes ran with the default budget instead. Negatives must now
+// fail with the typed error, from Validate and from Run.
+func TestValidateReconfigLimit(t *testing.T) {
+	cases := []struct {
+		name  string
+		limit int
+		ok    bool
+	}{
+		{"default (0)", 0, true},
+		{"paper budget", 1, true},
+		{"raised budget", 3, true},
+		{"negative one", -1, false},
+		{"large negative", -100, false},
+	}
+	for _, tc := range cases {
+		spec := Spec{Scale: 0.05, ReconfigLimit: tc.limit,
+			Timeline: []Event{{Kind: Arrive, App: "aes-query"}}}
+		err := spec.Validate()
+		if tc.ok {
+			if err != nil {
+				t.Fatalf("%s: Validate = %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrReconfigLimit) {
+			t.Fatalf("%s: Validate = %v, want ErrReconfigLimit", tc.name, err)
+		}
+		if _, err := Run(testCfg(), spec, Options{}); !errors.Is(err, ErrReconfigLimit) {
+			t.Fatalf("%s: Run = %v, want ErrReconfigLimit", tc.name, err)
+		}
+	}
+}
+
+// TestValidateReconfigPolicy: unknown policy names fail fast; every
+// registered name (and the empty default) passes.
+func TestValidateReconfigPolicy(t *testing.T) {
+	for _, name := range append([]string{""}, ReconfigPolicyNames()...) {
+		spec := Spec{Scale: 0.05, ReconfigPolicy: name}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("policy %q: %v", name, err)
+		}
+	}
+	if err := (Spec{ReconfigPolicy: "bogus"}).Validate(); err == nil {
+		t.Fatal("unknown policy name must be rejected")
+	}
+	if _, err := Run(testCfg(), Spec{Scale: 0.05, ReconfigPolicy: "bogus"}, Options{}); err == nil {
+		t.Fatal("Run must reject an unknown policy name")
+	}
+}
+
+// TestAlwaysPolicyMatchesLegacy: the default engine behavior and an
+// explicit "always" policy produce identical timelines — phases, cycles,
+// resizes — differing only in the report's policy annotation. This is
+// the goldens-untouched contract.
+func TestAlwaysPolicyMatchesLegacy(t *testing.T) {
+	spec := Spec{Seed: 42, Scale: 0.05, Events: 6, Apps: []string{"aes-query", "sssp-graph"}}
+	legacy, err := Run(testCfg(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ReconfigPolicy = "always"
+	explicit, err := Run(testCfg(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.ReconfigPolicy != "always" {
+		t.Fatalf("report policy %q, want always", explicit.ReconfigPolicy)
+	}
+	if legacy.ReconfigPolicy != "" || legacy.Deferred != 0 {
+		t.Fatalf("legacy report must not carry policy fields: %q, %d", legacy.ReconfigPolicy, legacy.Deferred)
+	}
+	explicit.ReconfigPolicy = ""
+	if !bytes.Equal(reportJSON(t, legacy), reportJSON(t, explicit)) {
+		t.Fatalf("always policy diverged from legacy behavior:\n%s\nvs\n%s",
+			reportJSON(t, legacy), reportJSON(t, explicit))
+	}
+}
+
+// TestHysteresisPolicyDefersTransients: unit-level decision table — small
+// shifts never fire, large shifts fire only after the configured number
+// of consecutive deciding phases, and firing resets the streak.
+func TestHysteresisPolicyDefersTransients(t *testing.T) {
+	pol, err := NewReconfigPolicy("hysteresis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := func(cur, tgt int) PolicyInput { return PolicyInput{Current: cur, Target: tgt} }
+	if pol.Decide(in(36, 37)) {
+		t.Fatal("a 1-core wobble must not trigger a resize")
+	}
+	if pol.Decide(in(36, 40)) {
+		t.Fatal("first large shift must not fire yet (needs to sustain)")
+	}
+	if pol.Decide(in(36, 35)) {
+		t.Fatal("an interleaved small shift must reset the streak, not fire")
+	}
+	if pol.Decide(in(36, 40)) {
+		t.Fatal("streak was reset; one large shift must not fire")
+	}
+	if !pol.Decide(in(36, 40)) {
+		t.Fatal("a sustained large shift must fire on the second consecutive phase")
+	}
+	if pol.Decide(in(36, 40)) {
+		t.Fatal("firing must reset the streak")
+	}
+}
+
+// TestCostawarePolicyWeighsPurge: unit-level decision table — the first
+// resize (no measurement) passes, shrinks are deferred, and growths pass
+// only when the projected gain beats the measured purge stall.
+func TestCostawarePolicyWeighsPurge(t *testing.T) {
+	pol, err := NewReconfigPolicy("costaware")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pol.Decide(PolicyInput{Current: 36, Target: 40}) {
+		t.Fatal("first resize (no purge measured yet) must pass")
+	}
+	if pol.Decide(PolicyInput{Current: 40, Target: 36, LastPurgeCycles: 100, LastPhaseCycles: 1_000_000}) {
+		t.Fatal("a shrink projects no secure-side gain and must be deferred")
+	}
+	// gain = 1_000_000 * 4/40 = 100_000 > 500 → approve.
+	if !pol.Decide(PolicyInput{Current: 36, Target: 40, LastPurgeCycles: 500, LastPhaseCycles: 1_000_000}) {
+		t.Fatal("a growth whose projected gain dwarfs the purge bill must pass")
+	}
+	// gain = 1_000 * 4/40 = 100 < 50_000 → defer.
+	if pol.Decide(PolicyInput{Current: 36, Target: 40, LastPurgeCycles: 50_000, LastPhaseCycles: 1_000}) {
+		t.Fatal("a growth whose projected gain is below the purge bill must be deferred")
+	}
+}
+
+// TestPolicyTimelineAccounting: end-to-end, a deferring policy spends no
+// purge cycles on deferred phases, leaves the binding unchanged, and the
+// report's Deferred/Reconfigs split is consistent.
+func TestPolicyTimelineAccounting(t *testing.T) {
+	spec := Spec{
+		Seed: 7, Scale: 0.05, ReconfigPolicy: "hysteresis",
+		Timeline: []Event{
+			{Kind: Arrive, App: "aes-query"},
+			{Kind: Arrive, App: "tc-graph"},
+			{Kind: LoadShift, App: "aes-query", Factor: 2},
+			{Kind: Depart, App: "tc-graph"},
+			{Kind: Arrive, App: "sssp-graph"},
+		},
+	}
+	rep, err := Run(testCfg(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deferred := 0
+	for _, p := range rep.Phases {
+		if p.PolicyDeferred {
+			deferred++
+			if p.CoresMoved != 0 || p.PurgeCycles != 0 {
+				t.Fatalf("phase %d deferred but moved %d cores / %d purge cycles", p.Index, p.CoresMoved, p.PurgeCycles)
+			}
+			if p.BindingTo != p.BindingFrom {
+				t.Fatalf("phase %d deferred but binding moved %d->%d", p.Index, p.BindingFrom, p.BindingTo)
+			}
+			if p.BudgetDenied {
+				t.Fatalf("phase %d both deferred and budget-denied", p.Index)
+			}
+		}
+	}
+	if deferred != rep.Deferred {
+		t.Fatalf("report says %d deferred, phases say %d", rep.Deferred, deferred)
+	}
+	if deferred == 0 {
+		t.Fatal("hysteresis never deferred on a shift-heavy timeline; the test needs at least one deferral")
+	}
+}
+
+// TestStreamEventsDeterministic: the Sink emission sequence is part of
+// the determinism contract — identical Specs produce identical event
+// JSON at any worker count, phase-complete events reconstruct the
+// report's Phases exactly, and every phase closes exactly once.
+func TestStreamEventsDeterministic(t *testing.T) {
+	spec := Spec{Seed: 42, Scale: 0.05, Events: 6, Apps: []string{"aes-query", "sssp-graph"},
+		ReconfigPolicy: "costaware"}
+	type capture struct {
+		events []StreamEvent
+		rep    *Report
+		err    error
+	}
+	var caps [2]capture
+	var wg sync.WaitGroup
+	for i, workers := range []int{1, 4} {
+		wg.Add(1)
+		go func(slot, workers int) {
+			defer wg.Done()
+			c := &caps[slot]
+			c.rep, c.err = Run(testCfg(), spec, Options{
+				Workers: workers,
+				Sink:    func(ev StreamEvent) { c.events = append(c.events, ev) },
+			})
+		}(i, workers)
+	}
+	wg.Wait()
+	for i, c := range caps {
+		if c.err != nil {
+			t.Fatalf("run %d: %v", i, c.err)
+		}
+	}
+	ev0, err := json.Marshal(caps[0].events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev1, err := json.Marshal(caps[1].events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ev0, ev1) {
+		t.Fatalf("event streams diverged across worker counts:\n%s\nvs\n%s", ev0, ev1)
+	}
+
+	var phases []Phase
+	for _, ev := range caps[0].events {
+		if ev.Type == EvPhaseComplete {
+			if ev.Detail == nil {
+				t.Fatal("phase-complete without detail")
+			}
+			phases = append(phases, *ev.Detail)
+		}
+	}
+	if len(phases) != len(caps[0].rep.Phases) {
+		t.Fatalf("%d phase-complete events for %d phases", len(phases), len(caps[0].rep.Phases))
+	}
+	got, _ := json.Marshal(phases)
+	want, _ := json.Marshal(caps[0].rep.Phases)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("concatenated phase-complete events do not reconstruct Report.Phases:\n%s\nvs\n%s", got, want)
+	}
+	if len(caps[0].events) <= len(phases) {
+		t.Fatalf("only phase-complete events emitted (%d); tenant/resize/purge events missing", len(caps[0].events))
+	}
+}

@@ -46,6 +46,11 @@ type Phase struct {
 	CoresMoved   int  `json:"cores_moved"`
 	PagesMoved   int  `json:"pages_moved"`
 	BudgetDenied bool `json:"budget_denied,omitempty"`
+	// PolicyDeferred marks a phase whose demanded resize the
+	// reconfiguration policy declined to attempt — no budget spent, no
+	// purge paid, binding unchanged. Distinct from BudgetDenied, where
+	// the policy approved but the kernel refused.
+	PolicyDeferred bool `json:"policy_deferred,omitempty"`
 
 	// PurgeCycles is the dynamic-hardware-isolation stall of this phase's
 	// resize: private L1/TLB flushes of every core that changed domains,
@@ -87,6 +92,9 @@ type Report struct {
 	MaxTenants int      `json:"max_tenants"`
 	CoTenancy  bool     `json:"cotenancy,omitempty"`
 	Policy     string   `json:"policy,omitempty"`
+	// ReconfigPolicy names the resize-decision policy, set only when the
+	// spec selected one explicitly (legacy reports stay byte-identical).
+	ReconfigPolicy string `json:"reconfig_policy,omitempty"`
 
 	Phases []Phase `json:"phases"`
 
@@ -94,7 +102,11 @@ type Report struct {
 	TotalPurgeCycles int64 `json:"total_purge_cycles"`
 	Reconfigs        int   `json:"reconfigs"`
 	Denied           int   `json:"denied"`
-	RouteViolations  int64 `json:"route_violations"`
+	// Deferred counts resizes the reconfiguration policy declined to
+	// attempt (omitted for the default "always" policy, which never
+	// defers).
+	Deferred        int   `json:"deferred,omitempty"`
+	RouteViolations int64 `json:"route_violations"`
 }
 
 // ReportName implements metrics.Tabular.
@@ -114,6 +126,9 @@ func (r *Report) Sections() []metrics.Section {
 		binding := fmt.Sprintf("%d->%d", p.BindingFrom, p.BindingTo)
 		if p.BudgetDenied {
 			binding += " DENIED"
+		}
+		if p.PolicyDeferred {
+			binding += " DEFERRED"
 		}
 		timeline.Rows = append(timeline.Rows, []string{
 			fmt.Sprintf("%d", p.Index), p.Event, strings.Join(p.Tenants, "+"), binding,
@@ -149,6 +164,10 @@ func (r *Report) Sections() []metrics.Section {
 			r.TotalCycles, len(r.Phases), r.TotalPurgeCycles, metrics.Pct(r.purgeShare()), r.Reconfigs, r.Denied),
 		fmt.Sprintf("route violations: %d (contained routing must keep this at zero)", r.RouteViolations),
 	}}
+	if r.ReconfigPolicy != "" {
+		totals.Notes = append(totals.Notes,
+			fmt.Sprintf("reconfiguration policy %s: %d resizes deferred before reaching the kernel", r.ReconfigPolicy, r.Deferred))
+	}
 	return []metrics.Section{timeline, runs, totals}
 }
 

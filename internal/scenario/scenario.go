@@ -25,6 +25,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -87,8 +88,15 @@ type Spec struct {
 	// (free resizes, no purges — the baseline the attack tests indict).
 	Model string `json:"model,omitempty"`
 	// ReconfigLimit overrides the kernel's reconfiguration budget per
-	// invocation (default: the paper's bound of 1).
+	// invocation (default: the paper's bound of 1). Negative values are
+	// rejected by Validate with ErrReconfigLimit.
 	ReconfigLimit int `json:"reconfig_limit,omitempty"`
+	// ReconfigPolicy names the policy that decides when a demanded resize
+	// is actually attempted: "always" (default: any target change),
+	// "hysteresis" (only shifts that are large and sustained), or
+	// "costaware" (only when the projected completion gain beats the
+	// measured purge stall). See NewReconfigPolicy.
+	ReconfigPolicy string `json:"reconfig_policy,omitempty"`
 	// Timeline, when non-empty, replaces the generated event schedule.
 	Timeline []Event `json:"timeline,omitempty"`
 	// CoTenancy space-shares the secure cluster instead of time-sharing
@@ -157,6 +165,12 @@ func (s Spec) policy() string {
 	return s.Policy
 }
 
+// ErrReconfigLimit marks a Spec whose ReconfigLimit is negative. The
+// engine applies only positive overrides (zero selects the paper's
+// default budget of 1), so before this check a caller passing a negative
+// limit to forbid resizes silently ran with the default budget instead.
+var ErrReconfigLimit = errors.New("scenario: reconfig_limit must be >= 0 (0 selects the paper's default budget of 1; resizes cannot be forbidden by a negative budget)")
+
 // ValidateModel checks that a model name can host a multi-tenant
 // timeline: only the spatial models qualify (empty selects the default).
 // The service's fail-fast validation and the engine share this check.
@@ -175,6 +189,12 @@ func ValidateModel(name string) error {
 // fast as bad requests instead of surfacing mid-simulation.
 func (s Spec) Validate() error {
 	if err := ValidateModel(s.Model); err != nil {
+		return err
+	}
+	if s.ReconfigLimit < 0 {
+		return fmt.Errorf("%w (got %d)", ErrReconfigLimit, s.ReconfigLimit)
+	}
+	if _, err := NewReconfigPolicy(s.ReconfigPolicy); err != nil {
 		return err
 	}
 	for _, alias := range s.Apps {
@@ -236,6 +256,11 @@ type Options struct {
 	// reuse per-app traces across scenarios. Nil captures locally, memoized
 	// per run.
 	TraceFor func(entry apps.Entry, scale float64) (*trace.Trace, error)
+	// Sink receives typed phase events as the timeline unfolds (nil =
+	// no emission). The streamed /v1/scenario endpoint wires its NDJSON/
+	// SSE framing here. Calls are synchronous from the engine's phase
+	// loop in a deterministic order; they do not change any measurement.
+	Sink Sink
 }
 
 func (o Options) workers() int {
@@ -317,6 +342,13 @@ type engine struct {
 	auth    *driver.Authority
 	binding int
 
+	// policy gates resize attempts; lastPurge and lastPhase feed its
+	// cost/benefit inputs (the most recent authorized resize's purge bill
+	// and the previous phase's completion total).
+	policy    ReconfigPolicy
+	lastPurge int64
+	lastPhase int64
+
 	tenants []*tenant
 	traces  map[string]*trace.Trace // local memo when Options.TraceFor is nil
 }
@@ -347,6 +379,9 @@ func Run(cfg arch.Config, spec Spec, opts Options) (*Report, error) {
 		rep.CoTenancy = true
 		rep.Policy = spec.policy()
 	}
+	if spec.ReconfigPolicy != "" {
+		rep.ReconfigPolicy = e.policy.Name()
+	}
 	for i, ev := range timeline {
 		ph, err := e.phase(i, ev)
 		if err != nil {
@@ -355,15 +390,19 @@ func Run(cfg arch.Config, spec Spec, opts Options) (*Report, error) {
 		rep.Phases = append(rep.Phases, *ph)
 		rep.TotalCycles += ph.PhaseCycles
 		rep.TotalPurgeCycles += ph.PurgeCycles + ph.CtxSwitchCycles
-		if ph.BudgetDenied {
+		switch {
+		case ph.BudgetDenied:
 			rep.Denied++
-		} else if ph.CoresMoved > 0 {
+		case ph.PolicyDeferred:
+			rep.Deferred++
+		case ph.CoresMoved > 0:
 			rep.Reconfigs++
 		}
 		for _, run := range ph.Runs {
 			rep.RouteViolations += run.RouteViolations
 		}
 		rep.RouteViolations += ph.CoRouteViolations
+		e.emit(StreamEvent{Type: EvPhaseComplete, Phase: i, Detail: ph})
 	}
 	return rep, nil
 }
@@ -383,6 +422,11 @@ func newEngine(cfg arch.Config, spec Spec, opts Options) (*engine, error) {
 	if err := ValidateModel(spec.Model); err != nil {
 		return nil, err
 	}
+	pol, err := NewReconfigPolicy(spec.ReconfigPolicy)
+	if err != nil {
+		return nil, err
+	}
+	e.policy = pol
 	e.ironhide = strings.EqualFold(spec.model(), "IRONHIDE")
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
@@ -509,6 +553,7 @@ func (e *engine) phase(index int, ev Event) (*Phase, error) {
 			entry: entry, tr: tr, weight: 1, binding: sr.SecureCores,
 			pageLo: pageLo, pageHi: pageHi,
 		})
+		e.emit(StreamEvent{Type: EvTenantArrive, Phase: index, App: ev.App, Tenants: e.residentAliases()})
 		newInvocation = true
 	case Depart:
 		i, t := e.findTenant(ev.App)
@@ -524,6 +569,7 @@ func (e *engine) phase(index int, ev Event) (*Phase, error) {
 			// any successor may observe it.
 			ph.CtxSwitchCycles += e.ih.ContextSwitchSecure(e.m)
 		}
+		e.emit(StreamEvent{Type: EvTenantDepart, Phase: index, App: ev.App, Tenants: e.residentAliases()})
 		newInvocation = true
 	case LoadShift:
 		_, t := e.findTenant(ev.App)
@@ -542,6 +588,7 @@ func (e *engine) phase(index int, ev Event) (*Phase, error) {
 		if t.weight > 4 {
 			t.weight = 4
 		}
+		e.emit(StreamEvent{Type: EvLoadShift, Phase: index, App: ev.App, Factor: ev.Factor, Tenants: e.residentAliases()})
 	default:
 		return nil, fmt.Errorf("unknown event kind %q", ev.Kind)
 	}
@@ -554,20 +601,38 @@ func (e *engine) phase(index int, ev Event) (*Phase, error) {
 	if err := e.resize(ph); err != nil {
 		return nil, err
 	}
+	if ph.PurgeCycles+ph.CtxSwitchCycles > 0 {
+		e.emit(StreamEvent{Type: EvPurgeCost, Phase: index,
+			PurgeCycles: ph.PurgeCycles, CtxSwitchCycles: ph.CtxSwitchCycles})
+	}
 	if err := e.runTenants(index, ph); err != nil {
 		return nil, err
 	}
 	ph.PhaseCycles = ph.PurgeCycles + ph.CtxSwitchCycles
+	var completions int64
 	if ph.CoRunCycles > 0 {
 		// Space-shared tenants run simultaneously: the phase lasts as long
 		// as the co-run's shared horizon, not the sum of the completions.
-		ph.PhaseCycles += ph.CoRunCycles
+		completions = ph.CoRunCycles
 	} else {
 		for _, r := range ph.Runs {
-			ph.PhaseCycles += r.CompletionCycles
+			completions += r.CompletionCycles
 		}
 	}
+	ph.PhaseCycles += completions
+	// Feed the next phase's policy decision: the completion total this
+	// phase measured at the installed binding.
+	e.lastPhase = completions
 	return ph, nil
+}
+
+// residentAliases snapshots the resident tenant aliases for an event.
+func (e *engine) residentAliases() []string {
+	out := make([]string, len(e.tenants))
+	for i, t := range e.tenants {
+		out[i] = t.entry.Alias
+	}
+	return out
 }
 
 // target combines the resident tenants' demands into the cluster size
@@ -623,10 +688,26 @@ func (e *engine) resize(ph *Phase) error {
 	if target == e.binding {
 		return nil
 	}
+	// The reconfiguration policy decides whether the demanded resize is
+	// even attempted; a deferral spends no budget and purges nothing.
+	if !e.policy.Decide(PolicyInput{
+		Phase:           ph.Index,
+		Current:         e.binding,
+		Target:          target,
+		LastPurgeCycles: e.lastPurge,
+		LastPhaseCycles: e.lastPhase,
+	}) {
+		ph.PolicyDeferred = true
+		e.emit(StreamEvent{Type: EvResizeDenied, Phase: ph.Index, Reason: DeniedPolicy,
+			BindingFrom: e.binding, BindingTo: target})
+		return nil
+	}
 	if e.ironhide {
 		if err := e.k.AuthorizeReconfig(); err != nil {
 			if err == kernel.ErrReconfigBudget {
 				ph.BudgetDenied = true
+				e.emit(StreamEvent{Type: EvResizeDenied, Phase: ph.Index, Reason: DeniedBudget,
+					BindingFrom: e.binding, BindingTo: target})
 				return nil
 			}
 			return err
@@ -638,6 +719,7 @@ func (e *engine) resize(ph *Phase) error {
 		ph.CoresMoved = rr.CoresMoved
 		ph.PagesMoved = rr.PagesMoved
 		ph.PurgeCycles = rr.Cycles
+		e.lastPurge = rr.Cycles
 	} else {
 		split, err := noc.NewSplit(target, e.cfg)
 		if err != nil {
@@ -647,8 +729,12 @@ func (e *engine) resize(ph *Phase) error {
 		ph.CoresMoved = len(old.Moved(split))
 		e.m.SetSplit(split, false)
 	}
+	from := e.binding
 	e.binding = target
 	ph.BindingTo = target
+	e.emit(StreamEvent{Type: EvResizeAuthorized, Phase: ph.Index,
+		BindingFrom: from, BindingTo: target,
+		CoresMoved: ph.CoresMoved, PagesMoved: ph.PagesMoved})
 	return nil
 }
 

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"ironhide/internal/scenario"
 )
 
 // Client is a retrying HTTP client for an ironhide-serve instance. Shed
@@ -27,6 +29,17 @@ type Client struct {
 	// Backoff is the initial transport-error backoff, doubled per attempt
 	// (default 50ms). Retry-After overrides it for shed responses.
 	Backoff time.Duration
+	// MaxRetryDelay caps any single retry sleep — the Retry-After hint
+	// included, which is server-controlled input and must not be able to
+	// park the client for an arbitrary time (default 30s; <0 disables the
+	// cap). Sleeps are additionally clamped to the context's remaining
+	// deadline: sleeping past it would burn the whole budget to return
+	// context.DeadlineExceeded late.
+	MaxRetryDelay time.Duration
+
+	// now and sleepFn are test seams (nil = real clock).
+	now     func() time.Time
+	sleepFn func(context.Context, time.Duration) error
 }
 
 // StatusError is a non-2xx response that was not retried away.
@@ -60,18 +73,57 @@ func (c *Client) backoff() time.Duration {
 	return 50 * time.Millisecond
 }
 
+func (c *Client) maxRetryDelay() time.Duration {
+	switch {
+	case c.MaxRetryDelay > 0:
+		return c.MaxRetryDelay
+	case c.MaxRetryDelay < 0:
+		return 0 // cap disabled
+	default:
+		return 30 * time.Second
+	}
+}
+
+func (c *Client) clock() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.sleepFn != nil {
+		return c.sleepFn(ctx, d)
+	}
+	return sleep(ctx, d)
+}
+
 // retryDelay picks the wait before attempt n (0-based) given the last
 // response, honoring Retry-After on shed responses. The server emits
 // jittered fractional seconds (e.g. "0.743") so a shed herd doesn't
 // retry in lockstep; integer values from other servers parse the same
-// way.
-func (c *Client) retryDelay(n int, resp *http.Response) time.Duration {
+// way. The hint is server-controlled input, so it is clamped to
+// MaxRetryDelay and never past the context's remaining deadline —
+// a misbehaving "Retry-After: 86400" must not park the caller for a day.
+func (c *Client) retryDelay(ctx context.Context, n int, resp *http.Response) time.Duration {
+	d := c.backoff() << n
 	if resp != nil {
 		if secs, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64); err == nil && secs >= 0 {
-			return time.Duration(secs * float64(time.Second))
+			d = time.Duration(secs * float64(time.Second))
 		}
 	}
-	return c.backoff() << n
+	if cap := c.maxRetryDelay(); cap > 0 && d > cap {
+		d = cap
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if remain := deadline.Sub(c.clock()); remain < d {
+			d = remain
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 // PostJSON posts req as JSON to path and decodes the 2xx body into resp
@@ -130,7 +182,7 @@ func (c *Client) roundTrip(ctx context.Context, do func() (*http.Response, error
 			if attempt >= c.maxRetries() {
 				return hres.Header, lastErr
 			}
-			if err := sleep(ctx, c.retryDelay(attempt, hres)); err != nil {
+			if err := c.sleep(ctx, c.retryDelay(ctx, attempt, hres)); err != nil {
 				return hres.Header, err
 			}
 			continue
@@ -142,7 +194,7 @@ func (c *Client) roundTrip(ctx context.Context, do func() (*http.Response, error
 		if attempt >= c.maxRetries() {
 			return nil, lastErr
 		}
-		if err := sleep(ctx, c.retryDelay(attempt, nil)); err != nil {
+		if err := c.sleep(ctx, c.retryDelay(ctx, attempt, nil)); err != nil {
 			return nil, err
 		}
 	}
@@ -159,6 +211,64 @@ func sleep(ctx context.Context, d time.Duration) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// ScenarioStream posts a streamed /v1/scenario request (stream is forced
+// on) and consumes the NDJSON response: onEvent, if non-nil, fires per
+// engine phase event in emission order, and the returned outcome carries
+// the terminal Report plus its blocking-body rendering — byte-identical
+// to the same request without streaming.
+//
+// Retries follow the blocking client's rules only until the stream's
+// first byte: shed responses (503) and transport errors are retried with
+// the usual clamped backoff. Once a 2xx status arrives, failures are
+// terminal — a mid-stream death surfaces as *StreamError (typed error
+// chunk) or ErrStreamTruncated (connection cut), never as a silently
+// short body.
+func (c *Client) ScenarioStream(ctx context.Context, req ScenarioRequest, onEvent func(scenario.StreamEvent)) (*StreamOutcome, error) {
+	req.Stream = true
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("marshal request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/scenario", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		hr.Header.Set("Accept", ContentTypeNDJSON)
+		hres, err := c.httpClient().Do(hr)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if attempt >= c.maxRetries() {
+				return nil, lastErr
+			}
+			if err := c.sleep(ctx, c.retryDelay(ctx, attempt, nil)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if hres.StatusCode/100 != 2 {
+			b, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
+			hres.Body.Close()
+			lastErr = &StatusError{Status: hres.StatusCode, Body: string(bytes.TrimSpace(b))}
+			if hres.StatusCode != http.StatusServiceUnavailable || attempt >= c.maxRetries() {
+				return nil, lastErr
+			}
+			if err := c.sleep(ctx, c.retryDelay(ctx, attempt, hres)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		out, err := consumeScenarioStream(hres, onEvent)
+		hres.Body.Close()
+		return out, err
 	}
 }
 

@@ -111,3 +111,87 @@ func TestClientWaitReady(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The Retry-After clamp bugfix: the hint is server-controlled input, so a
+// hostile or buggy "Retry-After: 86400" must be clamped to MaxRetryDelay
+// and never past the context's remaining deadline. Fake clock, no real
+// sleeping.
+func TestClientClampsRetryAfter(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	resp := func(retryAfter string) *http.Response {
+		h := http.Header{}
+		h.Set("Retry-After", retryAfter)
+		return &http.Response{Header: h}
+	}
+	ctxWith := func(remain time.Duration) context.Context {
+		ctx, cancel := context.WithDeadline(context.Background(), base.Add(remain))
+		t.Cleanup(cancel)
+		return ctx
+	}
+
+	cases := []struct {
+		name   string
+		client Client
+		ctx    context.Context
+		resp   *http.Response
+		want   time.Duration
+	}{
+		{"honors small hints verbatim",
+			Client{}, context.Background(), resp("0.250"), 250 * time.Millisecond},
+		{"clamps a day-long hint to the default cap",
+			Client{}, context.Background(), resp("86400"), 30 * time.Second},
+		{"clamps to a configured cap",
+			Client{MaxRetryDelay: 2 * time.Second}, context.Background(), resp("86400"), 2 * time.Second},
+		{"cap disabled honors the hint",
+			Client{MaxRetryDelay: -1}, context.Background(), resp("86400"), 86400 * time.Second},
+		{"clamps to the deadline's remainder",
+			Client{}, ctxWith(400 * time.Millisecond), resp("5"), 400 * time.Millisecond},
+		{"expired deadline sleeps zero",
+			Client{}, ctxWith(-time.Second), resp("5"), 0},
+		{"backoff also respects the deadline",
+			Client{Backoff: 10 * time.Second}, ctxWith(100 * time.Millisecond), nil, 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		c := tc.client
+		c.now = func() time.Time { return base }
+		if got := c.retryDelay(tc.ctx, 0, tc.resp); got != tc.want {
+			t.Fatalf("%s: retryDelay = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// End-to-end with a recording sleep seam: a shed loop against a server
+// demanding hour-long waits completes promptly, every recorded sleep
+// clamped to the configured cap.
+func TestClientShedLoopClamped(t *testing.T) {
+	var calls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3600")
+			writeError(w, http.StatusServiceUnavailable, ErrOverloaded)
+			return
+		}
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := &Client{BaseURL: ts.URL, HTTP: ts.Client(), MaxRetries: 3, MaxRetryDelay: 50 * time.Millisecond,
+		sleepFn: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		}}
+	if _, err := c.PostJSON(context.Background(), "/v1/run", Query{App: "a"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("recorded %d sleeps, want 2", len(slept))
+	}
+	for i, d := range slept {
+		if d != 50*time.Millisecond {
+			t.Fatalf("sleep %d was %v, want the 50ms cap", i, d)
+		}
+	}
+}

@@ -10,7 +10,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"ironhide/internal/scenario"
 )
 
 // LoadReport summarizes one load-generation phase against a running
@@ -34,6 +37,9 @@ type LoadReport struct {
 	// must stay separately visible or a dying shard hides inside the
 	// error rate.
 	Failovers int
+	// StreamEvents counts engine phase events delivered across all
+	// streamed requests (streamed scenario phases only; 0 elsewhere).
+	StreamEvents int64
 	// PerShard breaks successful requests down by the shard that answered
 	// (from the X-Ironhide-Shard header; empty for non-fleet servers).
 	// The fleet selftest asserts routing balance on it.
@@ -284,6 +290,71 @@ func HammerRouter(name string, rt *Router, targets []RoutedTarget, concurrency i
 	}
 	wg.Wait()
 	rep := &LoadReport{Name: name, Requests: len(targets), Concurrency: concurrency, Duration: time.Since(start)}
+	var ok []time.Duration
+	for i, l := range latencies {
+		rep.Failovers += failovers[i]
+		if errs[i] != "" {
+			rep.Errors++
+			if rep.FirstError == "" {
+				rep.FirstError = errs[i]
+			}
+			continue
+		}
+		rep.recordShard(shards[i], srcs[i])
+		ok = append(ok, l)
+	}
+	sort.Slice(ok, func(a, b int) bool { return ok[a] < ok[b] })
+	rep.P50 = percentile(ok, 0.50)
+	rep.P90 = percentile(ok, 0.90)
+	rep.P99 = percentile(ok, 0.99)
+	return rep, bodies
+}
+
+// HammerScenarioStream fires every scenario request as a routed stream
+// from `concurrency` workers, counting delivered engine events and
+// reconstructing each terminal report's blocking body (index-aligned with
+// targets; nil on error) so callers can diff streamed answers against
+// blocking oracles. Mid-stream deaths (typed StreamError / truncation)
+// count as errors — a stream must end in a terminal chunk or fail loudly.
+func HammerScenarioStream(name string, rt *Router, targets []ScenarioRequest, concurrency int) (*LoadReport, [][]byte) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if concurrency > len(targets) {
+		concurrency = len(targets)
+	}
+	latencies := make([]time.Duration, len(targets))
+	errs := make([]string, len(targets))
+	shards := make([]string, len(targets))
+	srcs := make([]string, len(targets))
+	failovers := make([]int, len(targets))
+	bodies := make([][]byte, len(targets))
+	var events atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(targets); i += concurrency {
+				t0 := time.Now()
+				out, res, err := rt.ScenarioStream(context.Background(), targets[i],
+					func(scenario.StreamEvent) { events.Add(1) })
+				failovers[i] = res.Failovers
+				if err != nil {
+					errs[i] = err.Error()
+					continue
+				}
+				latencies[i] = time.Since(t0)
+				shards[i] = res.Shard
+				srcs[i] = out.Cache
+				bodies[i] = out.Body
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep := &LoadReport{Name: name, Requests: len(targets), Concurrency: concurrency, Duration: time.Since(start),
+		StreamEvents: events.Load()}
 	var ok []time.Duration
 	for i, l := range latencies {
 		rep.Failovers += failovers[i]

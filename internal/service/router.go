@@ -11,6 +11,7 @@ import (
 
 	"ironhide/internal/apps"
 	"ironhide/internal/fleet"
+	"ironhide/internal/scenario"
 )
 
 // Router is the client-side front end of a sharded ironhide-serve fleet.
@@ -255,13 +256,91 @@ func (rt *Router) Grid(ctx context.Context, req GridRequest, resp any) (RoutedRe
 // scale (scenario traces are seed-independent and cached under seed 0, so
 // this is the key the serving shard will actually look up first).
 func (rt *Router) Scenario(ctx context.Context, req ScenarioRequest, resp any) (RoutedResult, error) {
-	pool := req.Spec.Pool()
-	if len(pool) == 0 {
-		return RoutedResult{}, errors.New("router: scenario with no applications")
-	}
-	key, err := RouteKey(Query{App: pool[0], Scale: req.Spec.Scale})
+	key, err := scenarioRouteKey(req)
 	if err != nil {
 		return RoutedResult{}, err
 	}
 	return rt.PostJSON(ctx, "/v1/scenario", key, req, resp)
+}
+
+// scenarioRouteKey derives the routing key a scenario request shares with
+// its blocking twin (see Router.Scenario).
+func scenarioRouteKey(req ScenarioRequest) (string, error) {
+	pool := req.Spec.Pool()
+	if len(pool) == 0 {
+		return "", errors.New("router: scenario with no applications")
+	}
+	return RouteKey(Query{App: pool[0], Scale: req.Spec.Scale})
+}
+
+// ScenarioStream routes a streamed /v1/scenario with first-byte failover
+// semantics: until the stream's first chunk, a shard failure (transport
+// error, shed, truncation-before-anything) fails over across the key's
+// replica set exactly like a blocking request. Once any chunk was
+// delivered, failover stops — replaying the run from another shard would
+// duplicate events the caller already consumed — and a shard death
+// surfaces as a typed *StreamError (terminal error chunk) or a wrapped
+// ErrStreamTruncated, never a silently short body.
+func (rt *Router) ScenarioStream(ctx context.Context, req ScenarioRequest, onEvent func(scenario.StreamEvent)) (*StreamOutcome, RoutedResult, error) {
+	rt.requests.Add(1)
+	key, err := scenarioRouteKey(req)
+	if err != nil {
+		return nil, RoutedResult{}, err
+	}
+	owners := rt.Owners(key)
+	res := RoutedResult{}
+	var lastErr error
+	for pass := 0; pass < rt.cfg.maxPasses(); pass++ {
+		if pass > 0 {
+			d := rt.cfg.backoff() << (pass - 1)
+			d = time.Duration(float64(d) * (0.5 + rand.Float64()))
+			if err := sleep(ctx, d); err != nil {
+				return nil, res, err
+			}
+		}
+		for _, shard := range owners {
+			br := rt.breakers[shard]
+			if !br.Allow() {
+				continue
+			}
+			delivered := 0
+			out, err := rt.clients[shard].ScenarioStream(ctx, req, func(ev scenario.StreamEvent) {
+				delivered++
+				if onEvent != nil {
+					onEvent(ev)
+				}
+			})
+			if err == nil {
+				br.Success()
+				res.Shard = shard
+				return out, res, nil
+			}
+			if delivered > 0 {
+				// The stream had begun: no failover. Tag the typed error
+				// with the shard so the caller knows who died mid-stream.
+				res.Shard = shard
+				var se *StreamError
+				if errors.As(err, &se) {
+					se.Shard = shard
+				}
+				br.Failure()
+				return out, res, err
+			}
+			if !retryableRouteError(err) {
+				res.Shard = shard
+				return out, res, err
+			}
+			br.Failure()
+			res.Failovers++
+			rt.failovers.Add(1)
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, res, ctx.Err()
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("router: all %d replicas of %q unavailable (breakers open)", len(owners), key)
+	}
+	return nil, res, fmt.Errorf("router: key %q failed on all replicas after %d passes: %w", key, rt.cfg.maxPasses(), lastErr)
 }

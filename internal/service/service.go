@@ -46,7 +46,6 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -723,6 +722,11 @@ type ScenarioRequest struct {
 	scenario.Spec
 	// TimeoutMs caps this request (0 = the server default).
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Stream selects the streamed response: engine phase events framed as
+	// NDJSON (or SSE under Accept: text/event-stream) chunks, terminated
+	// by the full Report. See stream.go for the framing and failure
+	// semantics.
+	Stream bool `json:"stream,omitempty"`
 }
 
 func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
@@ -749,36 +753,18 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(ctx, w) {
 		return
 	}
+	if req.Stream {
+		s.streamScenario(ctx, w, r, req)
+		return
+	}
 	s.respond(ctx, w, func() outcome {
-		// Phases reuse per-application traces through the shared LRU cache;
-		// scenario traces are seed-independent (the seed steers the
-		// timeline and attestation keys, never the recorded stream), so
-		// they are cached under seed 0 and shared across scenario seeds.
-		// The header reports the most expensive source any phase touched.
-		var srcMu sync.Mutex
-		worst := srcHit
-		rank := map[string]int{srcHit: 0, srcStore: 1, srcPeer: 2, srcCapture: 3}
-		opts := scenario.Options{
-			Workers: s.cfg.GridWorkers,
-			TraceFor: func(entry apps.Entry, scale float64) (*trace.Trace, error) {
-				key := TraceKey{App: entry.Name, Scale: scale}
-				tr, src, err := s.getTrace(ctx, entry, key, driver.Options{Scale: scale})
-				if err != nil {
-					return nil, err
-				}
-				srcMu.Lock()
-				if rank[src] > rank[worst] {
-					worst = src
-				}
-				srcMu.Unlock()
-				return tr, nil
-			},
-		}
+		// Both response shapes share the engine options (trace resolution
+		// through the LRU cache, worst-source tracking); see
+		// Server.scenarioOptions. The blocking path reports the source as
+		// the X-Ironhide-Cache header.
+		opts, worst := s.scenarioOptions(ctx)
 		rep, err := scenario.Run(s.cfg.Arch, req.Spec, opts)
-		srcMu.Lock()
-		src := worst
-		srcMu.Unlock()
-		return outcome{src: src, body: rep, err: err}
+		return outcome{src: worst(), body: rep, err: err}
 	})
 }
 
